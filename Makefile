@@ -1,0 +1,31 @@
+# Convenience targets for the RLA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures quickstart clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Reproduce every paper figure from the CLI at a moderate scale.
+figures:
+	$(PYTHON) -m repro.cli fig4
+	$(PYTHON) -m repro.cli fig5
+	$(PYTHON) -m repro.cli fig7 --duration 120
+	$(PYTHON) -m repro.cli fig8 --duration 120
+	$(PYTHON) -m repro.cli fig9 --duration 120
+	$(PYTHON) -m repro.cli fig10 --duration 120
+	$(PYTHON) -m repro.cli multisession --duration 120
+
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

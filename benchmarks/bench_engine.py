@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper figure — these quantify the engine the experiments stand on
+(event throughput, packet forwarding cost), which is what limits how close
+to the paper's 3000-second runs a benchmark session can afford to go.
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Network, droptail_factory
+from repro.sim.engine import Simulator
+from repro.tcp.flow import TcpFlow
+from repro.units import ms, pps_to_bps
+
+
+def _event_storm(n_events: int) -> int:
+    sim = Simulator(seed=1)
+
+    def chain(remaining: int) -> None:
+        if remaining > 0:
+            sim.schedule_after(0.001, chain, remaining - 1)
+
+    for _ in range(100):
+        sim.schedule(0.0, chain, n_events // 100)
+    return sim.run()
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw heapq event dispatch rate."""
+    executed = benchmark(_event_storm, 50_000)
+    assert executed >= 50_000
+
+
+def _tcp_second() -> int:
+    sim = Simulator(seed=1)
+    net = Network(sim, default_queue=droptail_factory(20))
+    net.add_link("A", "B", pps_to_bps(500), ms(20))
+    net.build_routes()
+    flow = TcpFlow(sim, net, "tcp-0", "A", "B")
+    flow.start()
+    sim.run(until=10.0)
+    return sim.events_executed
+
+
+def test_tcp_simulation_rate(benchmark):
+    """Events needed for 10 seconds of a single 500 pkt/s TCP flow."""
+    events = benchmark(_tcp_second)
+    assert events > 10_000

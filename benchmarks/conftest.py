@@ -1,0 +1,38 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every figure/table benchmark runs a scaled-down version of the paper's
+3000-second NS2 experiments.  The scale is controlled by two environment
+variables so a higher-fidelity run is one command away:
+
+* ``REPRO_BENCH_DURATION`` — measured seconds after warmup (default 60;
+  the paper used 2900),
+* ``REPRO_BENCH_WARMUP`` — discarded warmup seconds (default 20; the
+  paper used 100).
+
+Benchmarks print the paper's numbers next to ours (the ``[paper]``
+bracket) and assert the *shape* results: who wins, the theorem bounds,
+and the case ordering — not absolute throughput equality.
+
+Expensive simulation results are cached per session so figure 8 (which
+the paper derives from the same runs as figure 7) does not re-simulate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from _scale import bench_duration, bench_warmup
+
+
+@pytest.fixture(scope="session")
+def run_cache() -> Dict[str, object]:
+    """Session-wide cache of simulation results shared across benchmarks."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def scale() -> Dict[str, float]:
+    """The duration/warmup this benchmark session runs at."""
+    return {"duration": bench_duration(), "warmup": bench_warmup()}

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Reproduce a column of the paper's figure 7 table on the tertiary tree.
+
+Builds the four-level tertiary tree of figure 6 (27 receivers, one
+background TCP per receiver), congests the links of a chosen case so the
+soft-bottleneck share is 100 pkt/s, runs the RLA against the TCP flock
+through drop-tail gateways, and prints the paper-format table plus the
+Theorem II essential-fairness verdict.
+
+Run:  python examples/tree_experiment.py [case] [duration_s]
+      (defaults: case 5, 60 s measured after 20 s warmup)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.paperdata import FIG7_DROPTAIL
+from repro.experiments.runner import TreeExperimentSpec, run_tree_experiment
+from repro.experiments.tables import format_case_table
+from repro.models import check_essential_fairness
+from repro.topology.cases import TREE_CASES
+
+
+def main() -> None:
+    case_number = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    spec = TreeExperimentSpec(
+        case=TREE_CASES[case_number],
+        gateway="droptail",
+        duration=duration,
+        warmup=20.0,
+        seed=1,
+    )
+    print(f"running case {case_number} ({spec.case.description}) for "
+          f"{duration:.0f}s after {spec.warmup:.0f}s warmup ...")
+    result = run_tree_experiment(spec)
+
+    print()
+    print(format_case_table({case_number: result}, paper=FIG7_DROPTAIL,
+                            title="Figure 7 column (drop-tail)"))
+
+    rla = result.rla[0]
+    verdict = check_essential_fairness(
+        rla["throughput_pps"], result.wtcp["throughput_pps"],
+        max(rla["num_trouble"], 1), "droptail",
+    )
+    print(f"\n{verdict}")
+    print(f"randomized cuts / signals = "
+          f"{rla['window_cuts'] - rla['forced_cuts']}/{rla['congestion_signals']}"
+          f" (target ~1/num_trouble = 1/{rla['num_trouble']})")
+
+
+if __name__ == "__main__":
+    main()

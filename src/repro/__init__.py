@@ -1,0 +1,102 @@
+"""repro — a reproduction of the Random Listening Algorithm (RLA).
+
+Wang & Schwartz, "Achieving Bounded Fairness for Multicast and TCP
+Traffic in the Internet", SIGCOMM 1998.
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation engine (the NS2 stand-in).
+``repro.net``
+    Packet-level substrate: links, drop-tail and RED gateways, routing,
+    multicast trees.
+``repro.tcp``
+    TCP SACK — the competing unicast traffic.
+``repro.rla``
+    The paper's contribution: the window-based Random Listening Algorithm
+    and its generalized different-RTT variant.
+``repro.baselines``
+    LTRC / MBFC rate-based schemes and the deterministic listener.
+``repro.models``
+    Analytical results of §4: PA windows, drift analysis, essential
+    fairness bounds, the two-session particle model.
+``repro.topology``
+    The paper's topologies: figure 1 (restricted) and figure 6 (tree).
+``repro.experiments``
+    One module per paper figure/table (figures 4, 5, 7, 8, 9, 10, §5.2).
+
+Quick start::
+
+    from repro import Simulator, Network, TcpFlow, RLASession
+    from repro.units import ms, pps_to_bps
+
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    net.add_link("S", "G", pps_to_bps(10_000), ms(5))
+    net.add_link("G", "R1", pps_to_bps(200), ms(50))
+    net.build_routes()
+    tcp = TcpFlow(sim, net, "tcp-0", "S", "R1")
+    rla = RLASession(sim, net, "rla-0", "S", ["R1"])
+    tcp.start(); rla.start()
+    sim.run(until=100.0)
+    print(tcp.report(), rla.report())
+"""
+
+from .errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+from .net import (
+    DropTailQueue,
+    Network,
+    Node,
+    Packet,
+    QueueMonitor,
+    REDQueue,
+    droptail_factory,
+    red_factory,
+)
+from .rla import (
+    GeneralizedRLASession,
+    RLAConfig,
+    RLAReceiver,
+    RLASender,
+    RLASession,
+)
+from .sim import Simulator, Tracer
+from .tcp import TcpConfig, TcpFlow, TcpReceiver, TcpSender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DropTailQueue",
+    "GeneralizedRLASession",
+    "Network",
+    "Node",
+    "Packet",
+    "QueueMonitor",
+    "REDQueue",
+    "RLAConfig",
+    "RLAReceiver",
+    "RLASender",
+    "RLASession",
+    "ReproError",
+    "RoutingError",
+    "SchedulingError",
+    "SimulationError",
+    "Simulator",
+    "TcpConfig",
+    "TcpFlow",
+    "TcpReceiver",
+    "TcpSender",
+    "TopologyError",
+    "Tracer",
+    "droptail_factory",
+    "red_factory",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Measurement, statistics, plotting and export utilities."""
+
+from .export import write_experiment_csv, write_timeseries_csv
+from .plot import heatmap, line_plot, multi_line_plot
+from .stats import Histogram, OnlineStats, TimeWeighted
+from .timeseries import (
+    Probe,
+    TimeSeries,
+    cwnd_probe,
+    queue_depth_probe,
+    reach_probe,
+)
+
+__all__ = [
+    "Histogram",
+    "OnlineStats",
+    "Probe",
+    "TimeSeries",
+    "TimeWeighted",
+    "cwnd_probe",
+    "heatmap",
+    "line_plot",
+    "multi_line_plot",
+    "queue_depth_probe",
+    "reach_probe",
+    "write_experiment_csv",
+    "write_timeseries_csv",
+]

@@ -1,0 +1,85 @@
+"""Export experiment data to CSV for external analysis/plotting.
+
+Two writers: time series (one row per sample, one column per series) and
+experiment tables (the figure 7/9/10 results as long-format rows).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, IO, Iterable, List, Sequence, Union
+
+from ..errors import ConfigurationError
+from .timeseries import TimeSeries
+
+PathOrFile = Union[str, IO[str]]
+
+
+def _open(target: PathOrFile):
+    if isinstance(target, str):
+        return open(target, "w", newline=""), True
+    return target, False
+
+
+def write_timeseries_csv(target: PathOrFile, series_list: Sequence[TimeSeries]) -> int:
+    """Write series as columns joined on sample times; returns row count.
+
+    Series sampled on different grids are merged on the union of times;
+    missing values are left blank.
+    """
+    if not series_list:
+        raise ConfigurationError("no series to export")
+    handle, owned = _open(target)
+    try:
+        all_times = sorted({t for s in series_list for t in s.times})
+        lookup: List[Dict[float, float]] = [
+            dict(zip(s.times, s.values)) for s in series_list
+        ]
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + [s.name or f"series{i}"
+                                    for i, s in enumerate(series_list)])
+        for t in all_times:
+            row: List[object] = [t]
+            for table in lookup:
+                value = table.get(t)
+                row.append("" if value is None else value)
+            writer.writerow(row)
+        return len(all_times)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_experiment_csv(target: PathOrFile, results: Dict[int, object]) -> int:
+    """Write tree-experiment results in long format; returns row count.
+
+    Columns: case, section (rla/tcp), entity (session index or receiver),
+    metric, value.  Accepts the dict produced by ``run_fig7``-style
+    functions.
+    """
+    if not results:
+        raise ConfigurationError("no results to export")
+    handle, owned = _open(target)
+    rows = 0
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["case", "section", "entity", "metric", "value"])
+        for case, result in sorted(results.items()):
+            for index, report in enumerate(result.rla):
+                for metric, value in report.items():
+                    if metric == "signals_by_receiver":
+                        for receiver, count in value.items():
+                            writer.writerow([case, "rla-signals", receiver,
+                                             "congestion_signals", count])
+                            rows += 1
+                        continue
+                    writer.writerow([case, "rla", index, metric, value])
+                    rows += 1
+            for receiver, report in result.tcp.items():
+                for metric, value in report.items():
+                    writer.writerow([case, "tcp", receiver, metric, value])
+                    rows += 1
+        return rows
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,147 @@
+"""Streaming statistics primitives.
+
+Simulation probes produce unbounded observation streams; these helpers
+accumulate them in O(1) memory:
+
+* :class:`OnlineStats` — count/mean/variance/min/max via Welford's method;
+* :class:`TimeWeighted` — time-weighted mean of a piecewise-constant
+  signal (queue depth, cwnd);
+* :class:`Histogram` — fixed-bin counts with quantile queries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+class OnlineStats:
+    """Welford single-pass mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Fold many observations in."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (f"OnlineStats(n={self.count}, mean={self.mean:.4g}, "
+                f"sd={self.stddev:.4g})")
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal."""
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._last_time = start_time
+        self._value = initial
+        self._area = 0.0
+        self._origin = start_time
+
+    def update(self, now: float, value: float) -> None:
+        """The signal changed to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ConfigurationError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Average up to ``now`` (defaults to the last update time)."""
+        end = self._last_time if now is None else now
+        elapsed = end - self._origin
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / elapsed
+
+    @property
+    def current(self) -> float:
+        """The current level of the signal."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-width binning over [low, high) with overflow bins."""
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if not low < high:
+            raise ConfigurationError(f"need low < high, got {low}, {high}")
+        if bins < 1:
+            raise ConfigurationError(f"bins must be >= 1: {bins}")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        """Count one observation."""
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            width = (self.high - self.low) / self.bins
+            self.counts[int((value - self.low) / width)] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (bin midpoint); q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile out of [0,1]: {q}")
+        if self.total == 0:
+            return self.low
+        target = q * self.total
+        running = self.underflow
+        if running >= target and self.underflow:
+            return self.low
+        width = (self.high - self.low) / self.bins
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= target:
+                return self.low + (index + 0.5) * width
+        return self.high
+
+    def bin_edges(self) -> List[float]:
+        """The bins' left edges plus the final right edge."""
+        width = (self.high - self.low) / self.bins
+        return [self.low + i * width for i in range(self.bins + 1)]

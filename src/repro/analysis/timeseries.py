@@ -1,0 +1,126 @@
+"""Time-series probes: sample simulation state on a fixed cadence.
+
+A :class:`Probe` samples a callable every ``interval`` seconds into a
+:class:`TimeSeries`.  Ready-made constructors cover the signals the paper
+plots or tabulates: congestion windows, reliable throughput, queue depth.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..net.queue import Gateway
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicProcess
+from .stats import OnlineStats
+
+
+class TimeSeries:
+    """An append-only sequence of (time, value) samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ConfigurationError(
+                f"{self.name}: sample time went backwards ({time})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with start <= t < end, as a new series."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        out = TimeSeries(self.name)
+        out.times = self.times[lo:hi]
+        out.values = self.values[lo:hi]
+        return out
+
+    def stats(self) -> OnlineStats:
+        """Summary statistics over all sampled values."""
+        stats = OnlineStats()
+        stats.extend(self.values)
+        return stats
+
+    def value_at(self, time: float) -> float:
+        """Last sampled value at or before ``time`` (piecewise constant)."""
+        if not self.times:
+            raise ConfigurationError(f"{self.name}: empty series")
+        index = bisect_right(self.times, time) - 1
+        return self.values[max(index, 0)]
+
+    def rate_of_change(self) -> "TimeSeries":
+        """Finite-difference derivative between consecutive samples."""
+        out = TimeSeries(f"d({self.name})/dt")
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                out.append(self.times[i],
+                           (self.values[i] - self.values[i - 1]) / dt)
+        return out
+
+    def pairs(self) -> List[Tuple[float, float]]:
+        """The samples as a list of (time, value) tuples."""
+        return list(zip(self.times, self.values))
+
+
+class Probe:
+    """Samples ``reader()`` every ``interval`` seconds into a series."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        reader: Callable[[], float],
+        interval: float = 0.1,
+        name: str = "probe",
+        start_offset: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"non-positive interval: {interval}")
+        self.sim = sim
+        self.reader = reader
+        self.series = TimeSeries(name)
+        self._process = PeriodicProcess(sim, interval, self._sample,
+                                        name=f"probe.{name}",
+                                        start_offset=start_offset)
+
+    def start(self) -> None:
+        """Begin sampling."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Stop sampling (the collected series stays available)."""
+        self._process.stop()
+
+    def _sample(self) -> None:
+        self.series.append(self.sim.now, float(self.reader()))
+
+
+def cwnd_probe(sim: Simulator, sender, interval: float = 0.1,
+               name: Optional[str] = None) -> Probe:
+    """Sample a TCP or RLA sender's congestion window."""
+    label = name or f"cwnd.{getattr(sender, 'flow', 'sender')}"
+    return Probe(sim, lambda: sender.cwnd, interval, name=label)
+
+
+def queue_depth_probe(sim: Simulator, gateway: Gateway, interval: float = 0.05,
+                      name: str = "qdepth") -> Probe:
+    """Sample a gateway's instantaneous queue depth."""
+    return Probe(sim, lambda: gateway.depth, interval, name=name)
+
+
+def reach_probe(sim: Simulator, rla_sender, interval: float = 0.5,
+                name: Optional[str] = None) -> Probe:
+    """Sample an RLA sender's reliable delivery frontier (max_reach_all)."""
+    label = name or f"reach.{rla_sender.flow}"
+    return Probe(sim, lambda: rla_sender.max_reach_all, interval, name=label)

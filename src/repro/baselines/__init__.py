@@ -1,0 +1,16 @@
+"""Baseline multicast congestion-control schemes (DESIGN.md S9-S10)."""
+
+from .deterministic import DeterministicListenerSender
+from .ltrc import LtrcSender
+from .mbfc import MbfcSender
+from .ratebase import LossReportReceiver, RateBasedMulticastSender
+from .rla_rate import RandomListeningRateSender
+
+__all__ = [
+    "DeterministicListenerSender",
+    "LossReportReceiver",
+    "LtrcSender",
+    "MbfcSender",
+    "RandomListeningRateSender",
+    "RateBasedMulticastSender",
+]

@@ -1,0 +1,40 @@
+"""The deterministic every-n-signals listener (§3.2 strawman).
+
+Before proposing *random* listening, the paper considers the obvious
+deterministic alternative: reduce the window once every
+``num_trouble_rcvr`` congestion signals.  It works when buffer periods are
+synchronized and fails in asynchronous settings — the motivating argument
+for randomization.  We implement it as an RLA variant so the A4/ablation
+benches can compare the two under identical conditions.
+"""
+
+from __future__ import annotations
+
+from ..rla.sender import RLASender
+from ..rla.state import ReceiverState
+
+
+class DeterministicListenerSender(RLASender):
+    """RLA sender whose listening rule is a modulo counter, not a coin."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._signal_counter = 0
+
+    def _on_congestion_signal(self, state: ReceiverState, srtt: float) -> None:
+        now = self.sim.now
+        self.congestion_signals += 1
+        self.tracker.record_signal(state, now, self.receivers.values())
+        if not state.troubled:
+            return
+        cfg = self.config
+        if (
+            cfg.forced_cut_enabled
+            and now - self.last_window_cut > cfg.forced_cut_awnd_rtts * self.awnd * srtt
+        ):
+            self._cut_window(forced=True)
+            return
+        self._signal_counter += 1
+        if self._signal_counter >= max(self.tracker.num_trouble, 1):
+            self._signal_counter = 0
+            self._cut_window(forced=False)

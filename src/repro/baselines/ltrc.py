@@ -1,0 +1,41 @@
+"""The Loss-Tolerant Rate Controller (LTRC) baseline, Montgomery 1997.
+
+As described in §1 of the paper: the sender halves its rate when the
+exponentially-weighted moving average of *some* receiver's reported loss
+rate exceeds a threshold, and never reduces again within a hold-off
+period.  The paper's criticism — that no universal threshold drives an
+arbitrary topology to the fair operating point — is exactly what the A4
+baseline benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .ratebase import RateBasedMulticastSender
+
+
+class LtrcSender(RateBasedMulticastSender):
+    """Rate-based sender reacting to the worst EWMA loss rate."""
+
+    def __init__(self, *args, loss_threshold: float = 0.02,
+                 ewma_gain: float = 0.25, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0 < loss_threshold < 1:
+            raise ConfigurationError(f"loss_threshold out of (0,1): {loss_threshold}")
+        if not 0 < ewma_gain <= 1:
+            raise ConfigurationError(f"ewma_gain out of (0,1]: {ewma_gain}")
+        self.loss_threshold = loss_threshold
+        self.ewma_gain = ewma_gain
+        self._ewma: Dict[str, float] = {}
+
+    def congestion_decision(self, reports: Dict[str, float]) -> bool:
+        """Congested iff any receiver's smoothed loss rate beats the threshold."""
+        for receiver_id, loss in reports.items():
+            previous = self._ewma.get(receiver_id, loss)
+            self._ewma[receiver_id] = previous + self.ewma_gain * (loss - previous)
+        reports.clear()  # each report is consumed once
+        if not self._ewma:
+            return False
+        return max(self._ewma.values()) > self.loss_threshold

@@ -1,0 +1,41 @@
+"""Monitor-Based Flow Control (MBFC) baseline, Sano et al. 1997.
+
+The double-threshold scheme from §1 of the paper: a receiver is
+*congested* if its loss rate over the monitor period exceeds the loss-rate
+threshold, and the sender recognizes congestion only if the fraction of
+congested receivers exceeds the loss-population threshold.  Setting the
+population threshold to zero degenerates to tracing the slowest receiver,
+which is the configuration the paper singles out as hard to tune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .ratebase import RateBasedMulticastSender
+
+
+class MbfcSender(RateBasedMulticastSender):
+    """Rate-based sender with loss-rate + loss-population double threshold."""
+
+    def __init__(self, *args, loss_threshold: float = 0.02,
+                 population_threshold: float = 0.25, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0 < loss_threshold < 1:
+            raise ConfigurationError(f"loss_threshold out of (0,1): {loss_threshold}")
+        if not 0 <= population_threshold < 1:
+            raise ConfigurationError(
+                f"population_threshold out of [0,1): {population_threshold}"
+            )
+        self.loss_threshold = loss_threshold
+        self.population_threshold = population_threshold
+
+    def congestion_decision(self, reports: Dict[str, float]) -> bool:
+        """Congested iff enough receivers individually look congested."""
+        if not reports:
+            return False
+        congested = sum(1 for loss in reports.values() if loss > self.loss_threshold)
+        fraction = congested / len(self.receiver_ids)
+        reports.clear()
+        return fraction > self.population_threshold

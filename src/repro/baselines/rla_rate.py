@@ -1,0 +1,66 @@
+"""Random listening over a rate-based controller — the §6 direction.
+
+The paper's conclusion: "the idea of 'random listening' can be used in
+conjunction with other forms of congestion control mechanism, such as
+rate-based control.  The key idea is to randomly react to the congestion
+signals from all receivers."
+
+This module explores that: a rate-based AIMD sender (same chassis as the
+LTRC/MBFC baselines) whose congestion decision applies the RLA's coin.
+Each monitor period, every receiver reporting losses contributes one
+congestion signal; the sender halves its rate with probability
+``1 / num_trouble`` per signal, where the troubled set is the receivers
+that have signalled within a recency window (a rate-domain analogue of
+the ``eta * min_congestion_interval`` rule).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from .ratebase import RateBasedMulticastSender
+
+
+class RandomListeningRateSender(RateBasedMulticastSender):
+    """AIMD-on-rate multicast sender with an RLA-style listening rule."""
+
+    def __init__(self, *args, loss_signal_threshold: float = 0.005,
+                 trouble_window: float = 10.0,
+                 rng: Optional[random.Random] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0 <= loss_signal_threshold < 1:
+            raise ConfigurationError(
+                f"loss_signal_threshold out of [0,1): {loss_signal_threshold}"
+            )
+        if trouble_window <= 0:
+            raise ConfigurationError(f"non-positive trouble_window: {trouble_window}")
+        self.loss_signal_threshold = loss_signal_threshold
+        self.trouble_window = trouble_window
+        self.rng = rng if rng is not None else random.Random(0)
+        #: receiver id -> time of its last congestion signal
+        self._last_signal: Dict[str, float] = {}
+        self.congestion_signals = 0
+
+    @property
+    def num_trouble(self) -> int:
+        """Receivers that signalled congestion within the recency window."""
+        now = self.sim.now
+        return sum(1 for t in self._last_signal.values()
+                   if now - t <= self.trouble_window)
+
+    def congestion_decision(self, reports: Dict[str, float]) -> bool:
+        """One coin per congestion signal, each at 1/num_trouble."""
+        now = self.sim.now
+        signals = []
+        for receiver_id, loss in reports.items():
+            if loss > self.loss_signal_threshold:
+                signals.append(receiver_id)
+                self._last_signal[receiver_id] = now
+        reports.clear()
+        if not signals:
+            return False
+        self.congestion_signals += len(signals)
+        pthresh = 1.0 / max(self.num_trouble, 1)
+        return any(self.rng.random() <= pthresh for _ in signals)

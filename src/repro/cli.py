@@ -1,0 +1,112 @@
+"""Command-line entry point: reproduce any paper figure from the shell.
+
+Examples::
+
+    repro-rla fig4
+    repro-rla fig7 --duration 120 --warmup 20 --cases 1 3
+    repro-rla fig9 --seed 7
+    repro-rla fig10
+    repro-rla fig5 --steps 100000
+    repro-rla multisession --duration 150
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .experiments import (
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+    render_field,
+    run_fig7,
+    run_multisession,
+    run_particle_density,
+    summarize,
+)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=200.0,
+                        help="measured seconds after warmup (paper: 2900)")
+    parser.add_argument("--warmup", type=float, default=20.0,
+                        help="discarded warmup seconds (paper: 100)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rla",
+        description="Reproduce figures from Wang & Schwartz, SIGCOMM 1998.",
+    )
+    sub = parser.add_subparsers(dest="figure", required=True)
+
+    sub.add_parser("fig4", help="drift field of two competing windows")
+
+    fig5 = sub.add_parser("fig5", help="density of (cwnd1, cwnd2)")
+    fig5.add_argument("--steps", type=int, default=200_000)
+    fig5.add_argument("--seed", type=int, default=1)
+
+    for name, help_text in (
+        ("fig7", "drop-tail table (cases 1-5)"),
+        ("fig8", "congestion-signal statistics"),
+        ("fig9", "RED table (cases 1-5)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_run_args(p)
+        p.add_argument("--cases", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+
+    fig10 = sub.add_parser("fig10", help="different RTTs (generalized RLA)")
+    _add_run_args(fig10)
+    fig10.add_argument("--cases", type=int, nargs="+", default=[1, 2])
+
+    multi = sub.add_parser("multisession", help="two overlapping RLA sessions")
+    _add_run_args(multi)
+
+    sweep = sub.add_parser("sweep", help="fairness vs receiver count")
+    _add_run_args(sweep)
+    sweep.add_argument("--counts", type=int, nargs="+", default=[2, 4, 8])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "fig4":
+        print(render_field())
+    elif args.figure == "fig5":
+        trace = run_particle_density(steps=args.steps, seed=args.seed)
+        print(f"mean cwnds: ({trace.mean_w1:.1f}, {trace.mean_w2:.1f}); "
+              f"fair point {trace.model.operating_point()}; "
+              f"mass within radius 10: {trace.mass_within(10.0):.2%}")
+    elif args.figure in ("fig7", "fig8"):
+        results = run_fig7(duration=args.duration, warmup=args.warmup,
+                           seed=args.seed, cases=args.cases)
+        print(fig7_table(results) if args.figure == "fig7" else fig8_table(results))
+    elif args.figure == "fig9":
+        from .experiments import run_fig9
+        results = run_fig9(duration=args.duration, warmup=args.warmup,
+                           seed=args.seed, cases=args.cases)
+        print(fig9_table(results))
+    elif args.figure == "fig10":
+        from .experiments import run_fig10
+        results = run_fig10(duration=args.duration, warmup=args.warmup,
+                            seed=args.seed, cases=args.cases)
+        print(fig10_table(results))
+    elif args.figure == "multisession":
+        result = run_multisession(duration=args.duration, warmup=args.warmup,
+                                  seed=args.seed)
+        for metric, (measured, paper) in summarize(result).items():
+            print(f"{metric}: measured {measured}, paper {paper}")
+    elif args.figure == "sweep":
+        from .experiments.sweeps import format_sweep, sweep_receiver_count
+        rows = sweep_receiver_count(counts=args.counts,
+                                    duration=args.duration,
+                                    warmup=args.warmup, seed=args.seed)
+        print(format_sweep(rows, "n_receivers"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Experiment E3 — figure 7: RLA vs TCP through drop-tail gateways.
+
+Five cases of the figure 6 tertiary tree, soft-bottleneck share 100 pkt/s,
+27 receivers, one background TCP per receiver, 20-packet FIFO buffers,
+phase-effect jitter enabled (§3.1).  The paper runs 3000 s discarding the
+first 100 s; duration/warmup here are parameters so benchmarks can run a
+scaled-down (but shape-preserving) version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..topology.cases import TREE_CASES
+from .paperdata import FIG7_DROPTAIL
+from .runner import TreeExperimentResult, TreeExperimentSpec, run_tree_experiment
+from .tables import format_case_table
+
+
+def run_fig7(
+    duration: float = 200.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    cases: Iterable[int] = (1, 2, 3, 4, 5),
+    share_pps: float = 100.0,
+    gateway: str = "droptail",
+) -> Dict[int, TreeExperimentResult]:
+    """Run the selected figure 7 cases; returns results keyed by case."""
+    results: Dict[int, TreeExperimentResult] = {}
+    for case_number in cases:
+        spec = TreeExperimentSpec(
+            case=TREE_CASES[case_number],
+            gateway=gateway,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            share_pps=share_pps,
+        )
+        results[case_number] = run_tree_experiment(spec)
+    return results
+
+
+def fig7_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:
+    """Render the figure 7 table with paper references."""
+    if results is None:
+        results = run_fig7(**kwargs)
+    return format_case_table(
+        results, paper=FIG7_DROPTAIL,
+        title="Figure 7 - multicast sharing with TCP, drop-tail gateways",
+    )
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI/examples
+    print(fig7_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Experiment E5 — figure 9: RLA vs TCP through RED gateways.
+
+Identical setup to figure 7 except the gateways are RED (min 5 / max 15 /
+buffer 20) and no phase-effect jitter is used — RED's randomized drops
+eliminate phase effects by themselves (§3.1, §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .fig7_droptail import run_fig7
+from .paperdata import FIG9_RED
+from .runner import TreeExperimentResult
+from .tables import format_case_table
+
+
+def run_fig9(
+    duration: float = 200.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    cases: Iterable[int] = (1, 2, 3, 4, 5),
+    share_pps: float = 100.0,
+) -> Dict[int, TreeExperimentResult]:
+    """Run the selected figure 9 cases (RED gateways)."""
+    return run_fig7(
+        duration=duration, warmup=warmup, seed=seed, cases=cases,
+        share_pps=share_pps, gateway="red",
+    )
+
+
+def fig9_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:
+    """Render the figure 9 table with paper references."""
+    if results is None:
+        results = run_fig9(**kwargs)
+    return format_case_table(
+        results, paper=FIG9_RED,
+        title="Figure 9 - multicast sharing with TCP, RED gateways",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(fig9_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

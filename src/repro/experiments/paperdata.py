@@ -1,0 +1,120 @@
+"""The paper's published numbers, transcribed from figures 7-10 and §5.2.
+
+Benchmarks print these next to our measurements so paper-vs-reproduced
+comparisons live in one place (EXPERIMENTS.md summarizes them).  Absolute
+numbers need not match — the paper ran 2900-second NS2 measurements; we
+run a Python simulator, usually at shorter durations — but the *shape*
+(who wins, rough factors, case ordering) should.
+"""
+
+from __future__ import annotations
+
+#: Figure 7 — drop-tail gateways.  Per case: RLA row and worst/best TCP.
+FIG7_DROPTAIL = {
+    1: {
+        "rla": {"thrput": 144.1, "cwnd": 33.9, "rtt": 0.234,
+                "cong_signals": 23247, "wnd_cut": 840, "forced_cut": 0},
+        "wtcp": {"thrput": 81.8, "cwnd": 20.2, "rtt": 0.233, "wnd_cut": 879},
+        "btcp": {"thrput": 89.6, "cwnd": 22.3, "rtt": 0.233, "wnd_cut": 818},
+    },
+    2: {
+        "rla": {"thrput": 105.1, "cwnd": 27.2, "rtt": 0.267,
+                "cong_signals": 19797, "wnd_cut": 719, "forced_cut": 0},
+        "wtcp": {"thrput": 83.0, "cwnd": 22.0, "rtt": 0.251, "wnd_cut": 722},
+        "btcp": {"thrput": 87.8, "cwnd": 23.2, "rtt": 0.251, "wnd_cut": 688},
+    },
+    3: {
+        "rla": {"thrput": 94.6, "cwnd": 26.0, "rtt": 0.270,
+                "cong_signals": 17007, "wnd_cut": 651, "forced_cut": 0},
+        "wtcp": {"thrput": 79.2, "cwnd": 22.4, "rtt": 0.269, "wnd_cut": 658},
+        "btcp": {"thrput": 80.3, "cwnd": 23.2, "rtt": 0.270, "wnd_cut": 646},
+    },
+    4: {
+        "rla": {"thrput": 153.0, "cwnd": 40.0, "rtt": 0.264,
+                "cong_signals": 12759, "wnd_cut": 482, "forced_cut": 0},
+        "wtcp": {"thrput": 68.2, "cwnd": 17.9, "rtt": 0.252, "wnd_cut": 842},
+        "btcp": {"thrput": 170.7, "cwnd": 43.8, "rtt": 0.244, "wnd_cut": 405},
+    },
+    5: {
+        "rla": {"thrput": 224.6, "cwnd": 53.7, "rtt": 0.238,
+                "cong_signals": 11754, "wnd_cut": 442, "forced_cut": 0},
+        "wtcp": {"thrput": 74.5, "cwnd": 18.9, "rtt": 0.238, "wnd_cut": 899},
+        "btcp": {"thrput": 570.7, "cwnd": 134.8, "rtt": 0.231, "wnd_cut": 225},
+    },
+}
+
+#: Figure 9 — RED gateways.
+FIG9_RED = {
+    1: {
+        "rla": {"thrput": 118.0, "cwnd": 27.6, "rtt": 0.233,
+                "cong_signals": 25272, "wnd_cut": 949, "forced_cut": 0},
+        "wtcp": {"thrput": 84.9, "cwnd": 20.9, "rtt": 0.232, "wnd_cut": 862},
+        "btcp": {"thrput": 88.3, "cwnd": 21.5, "rtt": 0.232, "wnd_cut": 812},
+    },
+    2: {
+        "rla": {"thrput": 103.7, "cwnd": 27.0, "rtt": 0.264,
+                "cong_signals": 19188, "wnd_cut": 729, "forced_cut": 0},
+        "wtcp": {"thrput": 81.7, "cwnd": 21.4, "rtt": 0.249, "wnd_cut": 741},
+        "btcp": {"thrput": 86.1, "cwnd": 22.6, "rtt": 0.249, "wnd_cut": 707},
+    },
+    3: {
+        "rla": {"thrput": 88.3, "cwnd": 25.9, "rtt": 0.283,
+                "cong_signals": 19895, "wnd_cut": 721, "forced_cut": 0},
+        "wtcp": {"thrput": 74.1, "cwnd": 21.1, "rtt": 0.265, "wnd_cut": 714},
+        "btcp": {"thrput": 74.0, "cwnd": 21.1, "rtt": 0.265, "wnd_cut": 702},
+    },
+    4: {
+        "rla": {"thrput": 141.0, "cwnd": 36.3, "rtt": 0.261,
+                "cong_signals": 13939, "wnd_cut": 545, "forced_cut": 0},
+        "wtcp": {"thrput": 67.1, "cwnd": 17.3, "rtt": 0.250, "wnd_cut": 891},
+        "btcp": {"thrput": 166.2, "cwnd": 41.8, "rtt": 0.243, "wnd_cut": 433},
+    },
+    5: {
+        "rla": {"thrput": 209.2, "cwnd": 49.6, "rtt": 0.236,
+                "cong_signals": 12132, "wnd_cut": 454, "forced_cut": 0},
+        "wtcp": {"thrput": 73.1, "cwnd": 18.4, "rtt": 0.236, "wnd_cut": 902},
+        "btcp": {"thrput": 576.4, "cwnd": 135.7, "rtt": 0.231, "wnd_cut": 178},
+    },
+}
+
+#: Figure 8 — congestion-signal statistics, drop-tail runs.
+#: Per case and tier: (worst, best, average) RLA branch signals and TCP cuts.
+FIG8_SIGNALS = {
+    1: {"all": {"rla": (861, 861, 861), "tcp": (879, 818, 851)}},
+    2: {"all": {"rla": (762, 713, 707), "tcp": (722, 688, 709)}},
+    3: {"all": {"rla": (650, 609, 630), "tcp": (657, 646, 652)}},
+    4: {
+        "more": {"rla": (952, 925, 938), "tcp": (842, 819, 831)},
+        "less": {"rla": (384, 351, 367), "tcp": (413, 405, 409)},
+    },
+    5: {
+        "more": {"rla": (1082, 1082, 1082), "tcp": (899, 869, 886)},
+        "less": {"rla": (112, 112, 112), "tcp": (302, 225, 271)},
+    },
+}
+
+#: Figure 10 — different round-trip times (generalized RLA, 36 receivers).
+FIG10_RTT = {
+    1: {
+        "rla": {"thrput": 167.6, "cwnd": 39.1, "rtt": 0.240,
+                "cong_signals": 32118, "wnd_cut": 609, "forced_cut": 0},
+        "wtcp": {"thrput": 78.0, "cwnd": 19.7, "rtt": 0.238, "wnd_cut": 856},
+        "btcp": {"thrput": 83.2, "cwnd": 20.8, "rtt": 0.238, "wnd_cut": 814},
+    },
+    2: {
+        "rla": {"thrput": 161.6, "cwnd": 36.5, "rtt": 0.264,
+                "cong_signals": 41175, "wnd_cut": 721, "forced_cut": 0},
+        "wtcp": {"thrput": 64.2, "cwnd": 17.4, "rtt": 0.253, "wnd_cut": 879},
+        "btcp": {"thrput": 67.7, "cwnd": 18.2, "rtt": 0.253, "wnd_cut": 844},
+    },
+}
+
+#: §5.2 — two overlapping multicast sessions on the case-3 topology.
+MULTISESSION = {
+    "throughput_pps": (65.1, 65.9),
+    "mean_cwnd": (19.9, 20.1),
+}
+
+#: The paper's measurement window: 3000 s runs, first 100 s discarded.
+PAPER_DURATION = 2900.0
+PAPER_WARMUP = 100.0

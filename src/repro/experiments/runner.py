@@ -1,0 +1,189 @@
+"""Generic runner for the tree experiments of §5 (figures 7-10).
+
+One function, :func:`run_tree_experiment`, builds the figure 6 tree for a
+:class:`TreeCase`, attaches one background TCP connection per receiver and
+one (or more) RLA sessions, runs warmup + measurement, and returns all the
+paper-reported metrics.  The figure modules parameterize it; benchmarks
+call those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from ..net.addressing import flow_id
+from ..rla.config import RLAConfig
+from ..rla.session import RLASession
+from ..sim.engine import Simulator
+from ..tcp.config import TcpConfig
+from ..tcp.flow import TcpFlow
+from ..topology.cases import (
+    TreeCase,
+    case_bandwidths,
+    case_receivers,
+    congestion_tiers,
+)
+from ..topology.tree import build_tertiary_tree, static_tree_info
+from ..units import DEFAULT_PACKET_SIZE, bps_to_pps, transmission_time
+
+
+@dataclass
+class TreeExperimentSpec:
+    """Everything needed to reproduce one column of a §5 table."""
+
+    case: TreeCase
+    gateway: str = "droptail"
+    duration: float = 200.0
+    warmup: float = 20.0
+    seed: int = 1
+    share_pps: float = 100.0
+    tcp_per_receiver: int = 1
+    rla_sessions: int = 1
+    #: None = auto (generalized RLA iff the case mixes RTT tiers)
+    generalized: Optional[bool] = None
+    #: "auto" = one bottleneck service time for drop-tail, none for RED
+    phase_jitter: Union[str, float, None] = "auto"
+    buffer_pkts: int = 20
+    eta: float = 20.0
+    rexmit_thresh: int = 0
+    forced_cut_enabled: bool = True
+    packet_size: int = DEFAULT_PACKET_SIZE
+    #: Receiver-advertised window for the TCP flows, packets.  The paper's
+    #: BTCP reaches cwnd ~135 on uncongested branches, implying an NS2
+    #: advertised window of this magnitude; without a cap, uncongested
+    #: TCPs grow without bound and swamp the simulation.
+    tcp_max_cwnd: float = 128.0
+
+    def validate(self) -> "TreeExperimentSpec":
+        if self.gateway not in ("droptail", "red"):
+            raise ConfigurationError(f"unknown gateway {self.gateway!r}")
+        if self.duration <= 0 or self.warmup < 0:
+            raise ConfigurationError("duration must be positive, warmup >= 0")
+        if self.tcp_per_receiver < 0:
+            raise ConfigurationError("tcp_per_receiver must be >= 0")
+        if self.rla_sessions < 1:
+            raise ConfigurationError("need at least one RLA session")
+        return self
+
+    def resolved_generalized(self) -> bool:
+        if self.generalized is not None:
+            return self.generalized
+        return self.case.receivers != "leaves"
+
+    def resolved_jitter(self, min_bottleneck_bps: float) -> Optional[float]:
+        if self.phase_jitter == "auto":
+            if self.gateway == "red":
+                return None  # RED itself eliminates phase effects (§3.1)
+            return transmission_time(self.packet_size, min_bottleneck_bps)
+        if self.phase_jitter is None:
+            return None
+        return float(self.phase_jitter)
+
+
+@dataclass
+class TreeExperimentResult:
+    """All measurements from one tree experiment."""
+
+    spec: TreeExperimentSpec
+    #: one report per RLA session (see RLASession.report)
+    rla: List[dict]
+    #: per-receiver report of its background TCP flow (first one if several)
+    tcp: Dict[str, dict]
+    #: receivers split into "more" / "less" congested tiers
+    tiers: Dict[str, List[str]] = field(default_factory=dict)
+    receivers: List[str] = field(default_factory=list)
+
+    @property
+    def wtcp(self) -> dict:
+        """The worst competing TCP connection (paper's WTCP row)."""
+        return min(self.tcp.values(), key=lambda r: r["throughput_pps"])
+
+    @property
+    def btcp(self) -> dict:
+        """The best competing TCP connection (paper's BTCP row)."""
+        return max(self.tcp.values(), key=lambda r: r["throughput_pps"])
+
+    def tcp_cuts_by_tier(self, tier: str) -> List[int]:
+        """Window-cut counts of the TCP flows in one congestion tier.
+
+        Receivers without a background TCP (figure 10's interior G3x
+        members) are skipped.
+        """
+        return [self.tcp[r]["window_cuts"] for r in self.tiers.get(tier, ())
+                if r in self.tcp]
+
+    def rla_signals_by_tier(self, tier: str, session: int = 0) -> List[int]:
+        """RLA per-branch congestion-signal counts in one tier."""
+        signals = self.rla[session]["signals_by_receiver"]
+        return [signals[r] for r in self.tiers.get(tier, ()) if r in signals]
+
+
+def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
+    """Build, warm up, measure, and report one §5 experiment."""
+    spec.validate()
+    case = spec.case
+    info = static_tree_info()
+    bandwidths = case_bandwidths(
+        case, info, share_pps=spec.share_pps,
+        tcp_per_receiver=spec.tcp_per_receiver, packet_size=spec.packet_size,
+    )
+    sim = Simulator(seed=spec.seed)
+    net, info = build_tertiary_tree(
+        sim, gateway=spec.gateway,
+        link_bandwidths=bandwidths, buffer_pkts=spec.buffer_pkts,
+    )
+    receivers = case_receivers(case, info)
+    jitter = spec.resolved_jitter(min(bandwidths.values()))
+    start_rng = sim.rng.stream("experiment.start")
+
+    tcp_config = TcpConfig(
+        packet_size=spec.packet_size, phase_jitter=jitter,
+        max_cwnd=spec.tcp_max_cwnd,
+    )
+    # Background TCPs run to the leaf receivers only: in figure 10 the
+    # interior G3x nodes join the multicast group but have no TCP of
+    # their own (the paper's WTCP/BTCP rows show leaf RTTs).
+    tcp_flows: Dict[str, TcpFlow] = {}
+    extra_flows: List[TcpFlow] = []
+    for receiver in info.leaves:
+        for k in range(spec.tcp_per_receiver):
+            name = flow_id("tcp", f"{receiver}.{k}")
+            flow = TcpFlow(sim, net, name, info.root, receiver, config=tcp_config)
+            flow.start(start_rng.uniform(0.0, 1.0))
+            if k == 0:
+                tcp_flows[receiver] = flow
+            else:
+                extra_flows.append(flow)
+
+    rla_config = RLAConfig(
+        packet_size=spec.packet_size,
+        phase_jitter=jitter,
+        eta=spec.eta,
+        rexmit_thresh=spec.rexmit_thresh,
+        forced_cut_enabled=spec.forced_cut_enabled,
+        rtt_scaled_pthresh=spec.resolved_generalized(),
+    )
+    sessions = []
+    for s in range(spec.rla_sessions):
+        session = RLASession(
+            sim, net, flow_id("rla", s), info.root, receivers, config=rla_config
+        )
+        session.start(start_rng.uniform(0.0, 1.0))
+        sessions.append(session)
+
+    sim.run(until=spec.warmup)
+    for flow in list(tcp_flows.values()) + extra_flows:
+        flow.mark()
+    for session in sessions:
+        session.mark()
+    sim.run(until=spec.warmup + spec.duration)
+
+    return TreeExperimentResult(
+        spec=spec,
+        rla=[session.report() for session in sessions],
+        tcp={receiver: flow.report() for receiver, flow in tcp_flows.items()},
+        tiers=congestion_tiers(case, info, receivers),
+        receivers=receivers,
+    )

@@ -1,0 +1,148 @@
+"""Parameter sweeps around the paper's operating point.
+
+The paper evaluates one share (100 pkt/s), one buffer (20 packets) and
+two receiver populations (27 and 36).  These sweeps probe how the RLA's
+fairness behaves as each knob moves — the sensitivity analysis a
+deployment would want:
+
+* :func:`sweep_receiver_count` — how the RLA/TCP ratio scales with the
+  number of receivers (the ``n`` in the Theorem bounds);
+* :func:`sweep_buffer_size` — robustness to gateway buffer provisioning;
+* :func:`sweep_share` — robustness to the absolute bottleneck speed.
+
+All sweeps run the symmetric restricted topology (figure 1) where the
+expected outcome is near-absolute fairness at every point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..models.fairness import check_essential_fairness
+from ..rla.config import RLAConfig
+from ..rla.session import RLASession
+from ..sim.engine import Simulator
+from ..tcp.config import TcpConfig
+from ..tcp.flow import TcpFlow
+from ..topology.restricted import RestrictedSpec, build_restricted
+from ..units import pps_to_bps, transmission_time
+
+
+def _run_symmetric(
+    n_receivers: int,
+    share_pps: float,
+    buffer_pkts: int,
+    duration: float,
+    warmup: float,
+    seed: int,
+    gateway: str,
+) -> Dict[str, float]:
+    """One symmetric run: n branches at (1 TCP + RLA) * share each."""
+    mu = 2 * share_pps  # 1 TCP + the multicast session per branch
+    spec = RestrictedSpec(
+        mu_pps=[mu] * n_receivers,
+        m=[1] * n_receivers,
+        gateway=gateway,
+        buffer_pkts=buffer_pkts,
+    )
+    sim = Simulator(seed=seed)
+    net, receivers = build_restricted(sim, spec)
+    jitter = (transmission_time(spec.packet_size, pps_to_bps(mu))
+              if gateway == "droptail" else None)
+    flows: List[TcpFlow] = []
+    for index, receiver in enumerate(receivers):
+        flow = TcpFlow(sim, net, f"tcp-{index}", "S", receiver,
+                       config=TcpConfig(phase_jitter=jitter))
+        flow.start(0.1 * index)
+        flows.append(flow)
+    session = RLASession(sim, net, "rla-0", "S", receivers,
+                         config=RLAConfig(phase_jitter=jitter))
+    session.start(0.05)
+    sim.run(until=warmup)
+    session.mark()
+    for flow in flows:
+        flow.mark()
+    sim.run(until=warmup + duration)
+    rla = session.report()
+    tcp_rates = [flow.report()["throughput_pps"] for flow in flows]
+    wtcp = min(tcp_rates)
+    n = max(rla["num_trouble"], 1)
+    verdict = check_essential_fairness(
+        max(rla["throughput_pps"], 1e-9), max(wtcp, 1e-9), n, gateway
+    )
+    return {
+        "n_receivers": n_receivers,
+        "share_pps": share_pps,
+        "buffer_pkts": buffer_pkts,
+        "rla_pps": rla["throughput_pps"],
+        "rla_cwnd": rla["mean_cwnd"],
+        "wtcp_pps": wtcp,
+        "ratio": verdict.ratio,
+        "fair": verdict.fair,
+        "lower": verdict.lower,
+        "upper": verdict.upper,
+        "num_trouble": n,
+        "window_cuts": rla["window_cuts"],
+        "signals": rla["congestion_signals"],
+    }
+
+
+def sweep_receiver_count(
+    counts: Iterable[int] = (2, 4, 8, 12),
+    share_pps: float = 100.0,
+    duration: float = 60.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    gateway: str = "droptail",
+) -> List[Dict[str, float]]:
+    """Fairness ratio as the receiver population grows."""
+    return [
+        _run_symmetric(n, share_pps, 20, duration, warmup, seed, gateway)
+        for n in counts
+    ]
+
+
+def sweep_buffer_size(
+    buffers: Iterable[int] = (5, 10, 20, 40),
+    n_receivers: int = 3,
+    share_pps: float = 100.0,
+    duration: float = 60.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    gateway: str = "droptail",
+) -> List[Dict[str, float]]:
+    """Fairness ratio across gateway buffer sizes."""
+    return [
+        _run_symmetric(n_receivers, share_pps, buffer, duration, warmup,
+                       seed, gateway)
+        for buffer in buffers
+    ]
+
+
+def sweep_share(
+    shares: Iterable[float] = (50.0, 100.0, 200.0),
+    n_receivers: int = 3,
+    duration: float = 60.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    gateway: str = "droptail",
+) -> List[Dict[str, float]]:
+    """Fairness ratio across absolute bottleneck speeds."""
+    return [
+        _run_symmetric(n_receivers, share, 20, duration, warmup, seed, gateway)
+        for share in shares
+    ]
+
+
+def format_sweep(rows: List[Dict[str, float]], knob: str) -> str:
+    """Compact text table of a sweep's outcome."""
+    lines = [f"{knob:>12s}  {'RLA pkt/s':>10s}  {'WTCP':>8s}  {'ratio':>6s}  "
+             f"{'bounds':>16s}  fair"]
+    for row in rows:
+        bounds = f"({row['lower']:.2f}, {row['upper']:.2f})"
+        lines.append(
+            f"{row[knob]:>12.0f}  {row['rla_pps']:>10.1f}  "
+            f"{row['wtcp_pps']:>8.1f}  {row['ratio']:>6.2f}  "
+            f"{bounds:>16s}  {'yes' if row['fair'] else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Fairness definitions and theorem bounds (§2 and §4 of the paper).
+
+Implements the paper's three key concepts on the restricted topology:
+
+* the **soft bottleneck** — the branch minimizing ``mu_i / (m_i + 1)``;
+* **absolute fairness** — multicast throughput equal to the soft
+  bottleneck's equal share;
+* **essential fairness** — ``a * lambda_TCP < lambda_RLA < b * lambda_TCP``
+  with Theorem I giving ``(a, b) = (1/3, sqrt(3 n))`` for RED gateways and
+  Theorem II giving ``(a, b) = (1/4, 2 n)`` for drop-tail gateways with
+  phase effects eliminated.
+
+These functions power the E9 bound checks run inside the figure-7/9
+benchmarks, and are usable on measurements of *any* multicast scheme — the
+paper offers essential fairness as a yardstick for comparing algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+RED = "red"
+DROPTAIL = "droptail"
+
+
+def soft_bottleneck(mu: Sequence[float], m: Sequence[int]) -> int:
+    """Index of the soft bottleneck branch: argmin ``mu_i / (m_i + 1)``."""
+    if len(mu) != len(m) or not mu:
+        raise ConfigurationError("mu and m must be equal-length, non-empty")
+    shares = [capacity / (tcp_count + 1) for capacity, tcp_count in zip(mu, m)]
+    return min(range(len(shares)), key=shares.__getitem__)
+
+
+def soft_bottleneck_share(mu: Sequence[float], m: Sequence[int]) -> float:
+    """The equal share ``min_i mu_i / (m_i + 1)`` on the soft bottleneck."""
+    index = soft_bottleneck(mu, m)
+    return mu[index] / (m[index] + 1)
+
+
+def essential_fairness_bounds(n: int, gateway: str) -> Tuple[float, float]:
+    """Theorem I/II factors ``(a, b)`` for ``n`` troubled receivers."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1: {n}")
+    if gateway == RED:
+        return 1.0 / 3.0, math.sqrt(3.0 * n)
+    if gateway == DROPTAIL:
+        return 0.25, 2.0 * n
+    raise ConfigurationError(f"unknown gateway type: {gateway!r}")
+
+
+def window_ratio_bounds(n: int) -> Tuple[float, float]:
+    """Equation 4 factors: ``2/3 < W_RLA / W_TCP < sqrt(3 n)`` (RED case)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1: {n}")
+    return 2.0 / 3.0, math.sqrt(3.0 * n)
+
+
+def rtt_ratio_bounds() -> Tuple[float, float]:
+    """Equation 5: ``RTT < RTT_RLA < 2 RTT`` on the restricted topology."""
+    return 1.0, 2.0
+
+
+@dataclass
+class FairnessVerdict:
+    """Outcome of an essential-fairness check on one measurement."""
+
+    ratio: float          # lambda_RLA / lambda_TCP on the soft bottleneck
+    lower: float          # a
+    upper: float          # b
+    fair: bool            # a < ratio < b
+    gateway: str
+    n: int
+
+    def __str__(self) -> str:
+        status = "ESSENTIALLY FAIR" if self.fair else "OUT OF BOUNDS"
+        return (
+            f"{status}: ratio={self.ratio:.3f} within ({self.lower:.3f}, "
+            f"{self.upper:.3f}) for n={self.n} ({self.gateway})"
+        )
+
+
+def check_essential_fairness(
+    lambda_rla: float,
+    lambda_tcp: float,
+    n: int,
+    gateway: str,
+) -> FairnessVerdict:
+    """Check the Theorem I/II inequality on measured throughputs.
+
+    ``lambda_tcp`` must be the competing TCP throughput on the *soft
+    bottleneck* branch (the paper's WTCP row).
+    """
+    if lambda_rla <= 0 or lambda_tcp <= 0:
+        raise ConfigurationError("throughputs must be positive")
+    lower, upper = essential_fairness_bounds(n, gateway)
+    ratio = lambda_rla / lambda_tcp
+    return FairnessVerdict(
+        ratio=ratio,
+        lower=lower,
+        upper=upper,
+        fair=lower < ratio < upper,
+        gateway=gateway,
+        n=n,
+    )
+
+
+def is_absolutely_fair(
+    lambda_rla: float,
+    mu: Sequence[float],
+    m: Sequence[int],
+    tolerance: float = 0.2,
+) -> bool:
+    """True if the multicast throughput sits at the soft-bottleneck share.
+
+    ``tolerance`` is the acceptable relative deviation; absolute fairness
+    is essential fairness with ``a = b = 1``, impossible to hit exactly in
+    finite measurements.
+    """
+    share = soft_bottleneck_share(mu, m)
+    return abs(lambda_rla - share) <= tolerance * share

@@ -1,0 +1,67 @@
+"""Analytical TCP throughput/window estimates (§4.1 of the paper).
+
+* Equation 1 — the "proportional average (PA) window size" from the drift
+  analysis of the congestion-avoidance jump chain (Ott/Kemperman/Mathis):
+  ``W̄ = sqrt(2 (1-p) / p)`` packets at congestion probability ``p``.
+* The Mahdavi-Floyd rule of thumb ``bandwidth = 1.3 / (RTT sqrt(p))``.
+
+Both hold for *moderate congestion* only; the paper restricts all of its
+analysis to ``p < 5%``, exposed here as :data:`MODERATE_CONGESTION_LIMIT`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+#: The paper analyses only p below this ("moderate congestion", §4.1).
+MODERATE_CONGESTION_LIMIT = 0.05
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"congestion probability out of (0,1): {p}")
+
+
+def pa_window(p: float) -> float:
+    """Equation 1: PA window size ``sqrt(2(1-p)/p)`` in packets."""
+    _check_probability(p)
+    return math.sqrt(2.0 * (1.0 - p)) / math.sqrt(p)
+
+
+def pa_window_simplified(p: float) -> float:
+    """The ``p << 1`` simplification ``sqrt(2)/sqrt(p)`` of equation 1."""
+    _check_probability(p)
+    return math.sqrt(2.0) / math.sqrt(p)
+
+
+def mahdavi_floyd_bandwidth(rtt: float, p: float) -> float:
+    """The [11] rule of thumb: ``1.3 / (RTT * sqrt(p))`` packets/second."""
+    _check_probability(p)
+    if rtt <= 0:
+        raise ConfigurationError(f"non-positive RTT: {rtt}")
+    return 1.3 / (rtt * math.sqrt(p))
+
+
+def tcp_throughput(rtt: float, p: float) -> float:
+    """PA-window throughput estimate ``pa_window(p) / RTT`` (pkt/s)."""
+    if rtt <= 0:
+        raise ConfigurationError(f"non-positive RTT: {rtt}")
+    return pa_window(p) / rtt
+
+
+def congestion_probability_for_window(w: float) -> float:
+    """Invert equation 1: the ``p`` that yields PA window ``w``."""
+    if w <= 0:
+        raise ConfigurationError(f"non-positive window: {w}")
+    # w^2 = 2(1-p)/p  =>  p = 2 / (w^2 + 2)
+    return 2.0 / (w * w + 2.0)
+
+
+def drift(w: float, p: float) -> float:
+    """Average per-ACK drift ``D(w) = (1-p)/w - p*w/2`` of the TCP chain."""
+    _check_probability(p)
+    if w <= 0:
+        raise ConfigurationError(f"non-positive window: {w}")
+    return (1.0 - p) / w - p * w / 2.0

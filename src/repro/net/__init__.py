@@ -1,0 +1,43 @@
+"""Packet-level network substrate: packets, queues, links, nodes, routing.
+
+Public surface re-exported here; see DESIGN.md systems S2-S5.
+"""
+
+from .addressing import flow_id, group_address, is_multicast
+from .apps import CbrSource, PacketSink
+from .droptail import DropTailQueue
+from .faults import RandomDropQueue, random_drop_factory
+from .link import Link
+from .monitor import QueueMonitor
+from .multicast import shortest_path_tree, tree_edges
+from .network import Network, QueueFactory, droptail_factory, red_factory
+from .node import Node
+from .packet import ACK, DATA, Packet, SackBlock
+from .queue import Gateway
+from .red import REDQueue
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "CbrSource",
+    "DropTailQueue",
+    "Gateway",
+    "Link",
+    "Network",
+    "Node",
+    "Packet",
+    "PacketSink",
+    "QueueFactory",
+    "QueueMonitor",
+    "REDQueue",
+    "RandomDropQueue",
+    "random_drop_factory",
+    "SackBlock",
+    "droptail_factory",
+    "flow_id",
+    "group_address",
+    "is_multicast",
+    "red_factory",
+    "shortest_path_tree",
+    "tree_edges",
+]

@@ -1,0 +1,27 @@
+"""Addresses and identifiers used by the network layer.
+
+Node identifiers are plain strings (``"S"``, ``"G21"``, ``"R7"``).  Unicast
+destinations are node identifiers; multicast destinations are *group
+addresses*, marked by the ``group:`` prefix, mirroring the class-D address
+split in IP.  Flows (a TCP connection, an RLA session, a CBR stream) are
+identified by string flow-ids which both endpoints bind to.
+"""
+
+from __future__ import annotations
+
+GROUP_PREFIX = "group:"
+
+
+def group_address(name: str) -> str:
+    """Return the group address for a human-readable group ``name``."""
+    return name if name.startswith(GROUP_PREFIX) else GROUP_PREFIX + name
+
+
+def is_multicast(address: str) -> bool:
+    """True if ``address`` names a multicast group rather than a node."""
+    return address.startswith(GROUP_PREFIX)
+
+
+def flow_id(kind: str, index: object) -> str:
+    """Canonical flow-id, e.g. ``flow_id('tcp', 3) == 'tcp-3'``."""
+    return f"{kind}-{index}"

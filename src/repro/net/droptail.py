@@ -1,0 +1,25 @@
+"""The drop-tail (FIFO, tail-drop) gateway.
+
+This is the router type the paper calls "the toughest barrier to designing
+a fair multicast congestion control algorithm" (§1): a finite FIFO that
+drops arrivals once full, makes loss patterns phase-sensitive, and enforces
+no per-flow fairness at all.
+"""
+
+from __future__ import annotations
+
+from .packet import Packet
+from .queue import Gateway
+
+
+class DropTailQueue(Gateway):
+    """Finite FIFO buffer; arrivals beyond ``capacity`` packets are dropped."""
+
+    discipline = "droptail"
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity:
+            self._notify_drop(now, packet, "overflow")
+            return False
+        self._accept(now, packet)
+        return True

@@ -1,0 +1,93 @@
+"""Failure injection for robustness testing.
+
+:class:`RandomDropQueue` wraps any gateway discipline with a Bernoulli
+loss channel: each arrival is dropped with probability ``drop_prob``
+*before* the underlying discipline sees it, modelling random corruption /
+wireless loss independent of congestion.  The paper's algorithms must
+stay live under such loss (TCP via retransmission, the RLA via its
+repair machinery) — the failure-injection tests drive exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .packet import Packet
+from .queue import Gateway
+
+
+class RandomDropQueue(Gateway):
+    """A gateway that loses each arriving packet with fixed probability."""
+
+    discipline = "randomdrop"
+
+    def __init__(
+        self,
+        inner: Gateway,
+        drop_prob: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= drop_prob < 1.0:
+            raise ConfigurationError(f"drop_prob out of [0,1): {drop_prob}")
+        super().__init__(inner.capacity)
+        self.inner = inner
+        self.drop_prob = drop_prob
+        self.rng = rng if rng is not None else random.Random(0)
+        self.random_drops = 0
+
+    # Delegate storage to the inner gateway; this class only adds the coin.
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if self.rng.random() < self.drop_prob:
+            self.random_drops += 1
+            self._notify_drop(now, packet, "random")
+            return False
+        accepted = self.inner.enqueue(now, packet)
+        if accepted:
+            self.enqueued += 1
+        else:
+            self._notify_drop(now, packet, "overflow")
+        return accepted
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self.inner.dequeue(now)
+        if packet is not None:
+            self.dequeued += 1
+        return packet
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def depth(self) -> int:
+        """Current inner queue length in packets."""
+        return self.inner.depth
+
+    @property
+    def mean_pkt_time(self) -> float:  # noqa: D401 - property pair
+        """Mean packet service time, proxied to the inner discipline."""
+        return self.inner.mean_pkt_time
+
+    @mean_pkt_time.setter
+    def mean_pkt_time(self, value: float) -> None:
+        # Called from Gateway.__init__ before `inner` exists; stash on the
+        # inner gateway once available.
+        if "inner" in self.__dict__:
+            self.inner.mean_pkt_time = value
+        else:
+            self.__dict__["_pending_mean_pkt_time"] = value
+
+
+def random_drop_factory(inner_factory, drop_prob: float, sim=None):
+    """Wrap a queue factory with a Bernoulli loss channel.
+
+    ``sim`` (optional) supplies per-queue RNG streams for reproducibility;
+    without it each queue gets an independent fixed-seed stream.
+    """
+
+    def make(name: str) -> RandomDropQueue:
+        rng = sim.rng.stream(f"drop.{name}") if sim is not None else None
+        return RandomDropQueue(inner_factory(name), drop_prob, rng=rng)
+
+    return make

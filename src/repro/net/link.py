@@ -1,0 +1,95 @@
+"""Unidirectional links: a gateway queue + serializing transmitter + wire.
+
+The model matches NS2's SimpleLink: a router hands a packet to the link; if
+the transmitter is idle it starts serializing immediately, otherwise the
+packet is offered to the gateway queue (where drop-tail/RED policy
+applies).  After ``size/bandwidth`` seconds of serialization the packet
+spends ``delay`` seconds propagating, then arrives at the downstream node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..units import DEFAULT_PACKET_SIZE, transmission_time
+from ..sim.engine import Simulator
+from .packet import Packet
+from .queue import Gateway
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float,
+        delay_s: float,
+        gateway: Gateway,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"link {name}: non-positive bandwidth")
+        if delay_s < 0:
+            raise ConfigurationError(f"link {name}: negative delay")
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.gateway = gateway
+        self._busy = False
+        # lifetime statistics
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        # Let RED age its average by the typical (1000-byte) service time.
+        gateway.mean_pkt_time = transmission_time(DEFAULT_PACKET_SIZE, bandwidth_bps)
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Entry point used by the upstream node's forwarding logic."""
+        accepted = self.gateway.enqueue(self.sim.now, packet)
+        if accepted and not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        packet = self.gateway.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx = transmission_time(packet.size, self.bandwidth_bps)
+        self.sim.schedule_after(tx, self._transmission_done, packet, name=f"{self.name}.tx")
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.sim.schedule_after(
+            self.delay_s, self.dst.receive, packet, name=f"{self.name}.rx"
+        )
+        self._serve_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent transmitting bits."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_sent * 8) / (self.bandwidth_bps * elapsed))
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name}, {self.bandwidth_bps/1e6:.3f} Mbps, "
+            f"{self.delay_s*1e3:.1f} ms, q={self.gateway.discipline})"
+        )

@@ -1,0 +1,87 @@
+"""Measurement probes for gateways and links.
+
+:class:`QueueMonitor` observes one gateway: per-flow drop counts, a drop
+event log, and a time-weighted average queue depth (updated lazily at each
+enqueue/drop observation, plus an explicit :meth:`finish` at the end of a
+run).  The experiments use these to verify buffer-period behaviour (§3.1)
+and to report loss rates per branch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from .packet import Packet
+from .queue import Gateway
+
+DropEvent = Tuple[float, str, int, str]  # (time, flow, seq, reason)
+
+
+class QueueMonitor:
+    """Attach to a gateway and accumulate occupancy/drop statistics."""
+
+    def __init__(self, sim: Simulator, gateway: Gateway, log_drops: bool = False) -> None:
+        self.sim = sim
+        self.gateway = gateway
+        self.log_drops = log_drops
+        self.drops_by_flow: Counter = Counter()
+        self.enqueues_by_flow: Counter = Counter()
+        self.drop_log: List[DropEvent] = []
+        self._last_time = sim.now
+        self._last_depth = gateway.depth
+        self._area = 0.0  # integral of depth over time
+        self._max_depth = gateway.depth
+        self._start = sim.now
+        gateway.on_drop(self._observe_drop)
+        gateway.on_enqueue(self._observe_enqueue)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.sim.now
+        self._area += self._last_depth * (now - self._last_time)
+        self._last_time = now
+        self._last_depth = self.gateway.depth
+        if self._last_depth > self._max_depth:
+            self._max_depth = self._last_depth
+
+    def _observe_drop(self, now: float, packet: Packet, reason: str) -> None:
+        self._advance()
+        self.drops_by_flow[packet.flow] += 1
+        if self.log_drops:
+            self.drop_log.append((now, packet.flow, packet.seq, reason))
+
+    def _observe_enqueue(self, now: float, packet: Packet, depth: int) -> None:
+        self._advance()
+        self.enqueues_by_flow[packet.flow] += 1
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Fold in the time since the last observation (call at run end)."""
+        self._advance()
+
+    @property
+    def total_drops(self) -> int:
+        """Total packets dropped at this gateway since attachment."""
+        return sum(self.drops_by_flow.values())
+
+    @property
+    def max_depth(self) -> int:
+        """Largest queue depth observed."""
+        return self._max_depth
+
+    def mean_depth(self) -> float:
+        """Time-weighted average queue depth since attachment."""
+        elapsed = self._last_time - self._start
+        if elapsed <= 0:
+            return float(self._last_depth)
+        return self._area / elapsed
+
+    def loss_rate(self, flow: Optional[str] = None) -> float:
+        """Fraction of offered packets dropped (per flow or overall)."""
+        if flow is not None:
+            offered = self.enqueues_by_flow[flow] + self.drops_by_flow[flow]
+            return self.drops_by_flow[flow] / offered if offered else 0.0
+        offered = sum(self.enqueues_by_flow.values()) + self.total_drops
+        return self.total_drops / offered if offered else 0.0

@@ -1,0 +1,52 @@
+"""Multicast tree construction.
+
+Given a source and a member set, we build the union of unicast shortest
+paths (by propagation delay) from source to each member — i.e. a
+source-based shortest-path tree, the same tree dense-mode protocols like
+DVMRP/PIM-DM converge to on these topologies.  The tree is returned as a
+parent/children structure so the network builder can install per-node
+multicast forwarding entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+
+
+def shortest_path_tree(
+    graph: "nx.Graph",
+    source: str,
+    members: Iterable[str],
+    weight: str = "delay",
+) -> Dict[str, List[str]]:
+    """Return ``{node: [children...]}`` for the source-based multicast tree.
+
+    ``graph`` is an undirected networkx graph whose edges carry a ``weight``
+    attribute (propagation delay by default).  Every member must be
+    reachable from ``source``; interior nodes may themselves be members.
+    """
+    members = list(members)
+    if not members:
+        raise TopologyError("multicast group with no members")
+    children: Dict[str, List[str]] = {}
+    for member in members:
+        if member == source:
+            continue
+        try:
+            path = nx.shortest_path(graph, source, member, weight=weight)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise TopologyError(f"member {member!r} unreachable from {source!r}") from exc
+        for parent, child in zip(path, path[1:]):
+            branch = children.setdefault(parent, [])
+            if child not in branch:
+                branch.append(child)
+    return children
+
+
+def tree_edges(children: Dict[str, List[str]]) -> List[Tuple[str, str]]:
+    """Flatten a children map into a list of (parent, child) edges."""
+    return [(parent, child) for parent, kids in children.items() for child in kids]

@@ -1,0 +1,170 @@
+"""The network builder: nodes + links + routing in one object.
+
+Typical use::
+
+    net = Network(sim)
+    net.add_link("S", "G1", bandwidth_bps=mbps(100), delay_s=ms(5))
+    ...
+    net.build_routes()
+    net.join_group("group:rla", source="S", members=["R1", "R2"])
+
+Links are bidirectional by default (two independent :class:`Link` objects,
+each with its own gateway queue), matching NS2 duplex links.  Unicast routes
+are delay-weighted shortest paths computed with networkx and installed as
+static per-destination next hops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+from ..sim.engine import Simulator
+from .droptail import DropTailQueue
+from .link import Link
+from .multicast import shortest_path_tree
+from .node import Node
+from .queue import Gateway
+from .red import REDQueue
+
+#: A factory receives the directed link name (e.g. "S->G1") and returns a
+#: fresh gateway for that direction.
+QueueFactory = Callable[[str], Gateway]
+
+
+def droptail_factory(capacity: int = 20) -> QueueFactory:
+    """Queue factory producing drop-tail gateways of ``capacity`` packets."""
+    return lambda name: DropTailQueue(capacity)
+
+
+def red_factory(
+    sim: Simulator,
+    capacity: int = 20,
+    min_th: float = 5.0,
+    max_th: float = 15.0,
+    w_q: float = 0.002,
+    max_p: float = 0.1,
+    mark_ecn: bool = False,
+) -> QueueFactory:
+    """Queue factory producing RED gateways seeded from the simulator RNG."""
+
+    def make(name: str) -> REDQueue:
+        return REDQueue(
+            capacity=capacity,
+            min_th=min_th,
+            max_th=max_th,
+            w_q=w_q,
+            max_p=max_p,
+            rng=sim.rng.stream(f"red.{name}"),
+            mark_ecn=mark_ecn,
+        )
+
+    return make
+
+
+class Network:
+    """Container wiring nodes and links onto one simulator."""
+
+    def __init__(self, sim: Simulator, default_queue: Optional[QueueFactory] = None) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        #: directed ("a", "b") -> Link
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.default_queue: QueueFactory = default_queue or droptail_factory()
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str) -> Node:
+        """Create (or fetch) the node named ``node_id``."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = Node(node_id)
+            self.nodes[node_id] = node
+            self.graph.add_node(node_id)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Fetch an existing node, raising for unknown ids."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_factory: Optional[QueueFactory] = None,
+        bidirectional: bool = True,
+    ) -> Tuple[Link, Optional[Link]]:
+        """Connect ``a`` and ``b``; returns the (a->b, b->a) links."""
+        if (a, b) in self.links:
+            raise TopologyError(f"duplicate link {a}->{b}")
+        make_queue = queue_factory or self.default_queue
+        node_a, node_b = self.add_node(a), self.add_node(b)
+        forward = Link(
+            self.sim, f"{a}->{b}", node_a, node_b, bandwidth_bps, delay_s, make_queue(f"{a}->{b}")
+        )
+        self.links[(a, b)] = forward
+        reverse: Optional[Link] = None
+        if bidirectional:
+            reverse = Link(
+                self.sim, f"{b}->{a}", node_b, node_a, bandwidth_bps, delay_s, make_queue(f"{b}->{a}")
+            )
+            self.links[(b, a)] = reverse
+        self.graph.add_edge(a, b, delay=delay_s, bandwidth=bandwidth_bps)
+        return forward, reverse
+
+    def link(self, a: str, b: str) -> Link:
+        """The directed link a->b, raising for unknown pairs."""
+        try:
+            return self.links[(a, b)]
+        except KeyError:
+            raise TopologyError(f"no link {a}->{b}") from None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """Compute delay-weighted shortest paths; install static next hops."""
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="delay"))
+        for src, by_dst in paths.items():
+            node = self.nodes[src]
+            for dst, path in by_dst.items():
+                if dst == src or len(path) < 2:
+                    continue
+                node.add_route(dst, self.links[(path[0], path[1])])
+
+    def join_group(self, group: str, source: str, members: Iterable[str]) -> List[str]:
+        """Build the multicast tree for ``group`` rooted at ``source``.
+
+        Installs forwarding entries along delay-weighted shortest paths and
+        registers each member's local membership.  Returns the member list.
+        """
+        members = list(members)
+        children = shortest_path_tree(self.graph, source, members, weight="delay")
+        for parent, kids in children.items():
+            parent_node = self.node(parent)
+            for child in kids:
+                parent_node.add_mcast_route(group, self.links[(parent, child)])
+        for member in members:
+            self.node(member).join(group)
+        return members
+
+    # ------------------------------------------------------------------
+    def path_delay(self, a: str, b: str) -> float:
+        """One-way propagation delay along the routed path a->b."""
+        return nx.shortest_path_length(self.graph, a, b, weight="delay")
+
+    def path(self, a: str, b: str) -> List[str]:
+        """Node sequence of the routed path a->b."""
+        return nx.shortest_path(self.graph, a, b, weight="delay")
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={len(self.nodes)}, links={len(self.links)})"

@@ -1,0 +1,109 @@
+"""Routers/hosts: unicast forwarding, multicast replication, agent delivery.
+
+A :class:`Node` is simultaneously a router (it owns routing tables and
+forwards transit packets) and a host (transport agents *bind* flow-ids on
+it and receive packets addressed to it).  This mirrors NS2, where every
+node can both forward and terminate traffic — needed because the paper's
+figure-10 experiment makes interior gateways G31..G39 multicast receivers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from ..errors import RoutingError
+from .addressing import is_multicast
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .link import Link
+
+Handler = Callable[[Packet], None]
+
+
+class Node:
+    """A network node with static unicast routes and multicast fan-out."""
+
+    def __init__(self, node_id: str) -> None:
+        self.id = node_id
+        #: destination node-id -> outgoing link
+        self.routes: Dict[str, "Link"] = {}
+        #: group address -> outgoing links toward downstream members
+        self.mcast_routes: Dict[str, List["Link"]] = {}
+        #: group address -> True if an agent on this node joined the group
+        self.memberships: Dict[str, bool] = {}
+        #: flow-id -> transport agent handler
+        self._agents: Dict[str, Handler] = {}
+        self.packets_received = 0
+        self.packets_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, flow: str, handler: Handler) -> None:
+        """Register a transport agent to receive packets of ``flow``."""
+        if flow in self._agents:
+            raise RoutingError(f"flow {flow!r} already bound on node {self.id}")
+        self._agents[flow] = handler
+
+    def unbind(self, flow: str) -> None:
+        """Remove the agent bound to ``flow`` (no-op if absent)."""
+        self._agents.pop(flow, None)
+
+    def add_route(self, dst: str, link: "Link") -> None:
+        """Install/replace the unicast next-hop for ``dst``."""
+        self.routes[dst] = link
+
+    def add_mcast_route(self, group: str, link: "Link") -> None:
+        """Add a downstream branch for ``group`` (idempotent per link)."""
+        branches = self.mcast_routes.setdefault(group, [])
+        if link not in branches:
+            branches.append(link)
+
+    def join(self, group: str) -> None:
+        """Mark this node as a local member of ``group``."""
+        self.memberships[group] = True
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Entry point for packets arriving from a link (or sent locally)."""
+        self.packets_received += 1
+        packet.hops += 1
+        if is_multicast(packet.dst):
+            self._receive_multicast(packet)
+        elif packet.dst == self.id:
+            self._deliver(packet)
+        else:
+            self._forward_unicast(packet)
+
+    def _receive_multicast(self, packet: Packet) -> None:
+        if self.memberships.get(packet.dst):
+            self._deliver(packet)
+        for link in self.mcast_routes.get(packet.dst, ()):
+            self.packets_forwarded += 1
+            link.send(packet.copy())
+
+    def _forward_unicast(self, packet: Packet) -> None:
+        link = self.routes.get(packet.dst)
+        if link is None:
+            raise RoutingError(f"node {self.id}: no route to {packet.dst!r}")
+        self.packets_forwarded += 1
+        link.send(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        handler = self._agents.get(packet.flow)
+        if handler is None:
+            # Transit flows with no agent here are silently sunk, matching
+            # NS2 behaviour for traffic addressed to an unbound port.
+            return
+        handler(packet)
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Originate a packet from this node (route lookup + transmit)."""
+        self.receive(packet)
+
+    def __repr__(self) -> str:
+        return f"Node({self.id}, routes={len(self.routes)}, flows={len(self._agents)})"

@@ -1,0 +1,120 @@
+"""The packet — the unit every other component pushes around.
+
+Packets are deliberately lightweight (``__slots__``; no dictionaries) since
+a single full-scale experiment forwards tens of millions of them.  One class
+covers data and acknowledgment packets; ACK-only fields stay ``None`` on
+data packets and vice versa.
+
+Timestamps: ``sent_time`` is stamped by the sending agent and echoed back by
+receivers in ``echo_ts`` so senders can measure RTT without keeping a
+per-packet table (the same trick as TCP's timestamp option).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+DATA = "DATA"
+ACK = "ACK"
+
+_uid_counter = itertools.count(1)
+
+#: Type of a SACK block: a half-open sequence range [start, end).
+SackBlock = Tuple[int, int]
+
+
+class Packet:
+    """A simulated network packet.
+
+    Parameters mirror the on-the-wire fields a real implementation would
+    carry; see module docstring for the timestamp convention.
+    """
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "flow",
+        "src",
+        "dst",
+        "seq",
+        "size",
+        "sent_time",
+        "echo_ts",
+        "ack",
+        "sack",
+        "receiver",
+        "is_retransmit",
+        "hops",
+        "ect",
+        "ce",
+        "ece",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        flow: str,
+        src: str,
+        dst: str,
+        seq: int,
+        size: int,
+        sent_time: float = 0.0,
+        echo_ts: float = 0.0,
+        ack: Optional[int] = None,
+        sack: Optional[Tuple[SackBlock, ...]] = None,
+        receiver: Optional[str] = None,
+        is_retransmit: bool = False,
+    ) -> None:
+        self.uid = next(_uid_counter)
+        self.kind = kind
+        self.flow = flow
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.size = size
+        self.sent_time = sent_time
+        self.echo_ts = echo_ts
+        self.ack = ack
+        self.sack = sack
+        self.receiver = receiver
+        self.is_retransmit = is_retransmit
+        self.hops = 0
+        #: ECN-capable transport (set by senders that understand marking)
+        self.ect = False
+        #: congestion experienced (set by a marking gateway en route)
+        self.ce = False
+        #: echo of CE back to the sender (set on ACKs by receivers)
+        self.ece = False
+
+    def copy(self) -> "Packet":
+        """A fresh packet (new uid) with identical header fields.
+
+        Used by multicast replication; each branch copy can then be dropped
+        or delayed independently.
+        """
+        clone = Packet(
+            self.kind,
+            self.flow,
+            self.src,
+            self.dst,
+            self.seq,
+            self.size,
+            sent_time=self.sent_time,
+            echo_ts=self.echo_ts,
+            ack=self.ack,
+            sack=self.sack,
+            receiver=self.receiver,
+            is_retransmit=self.is_retransmit,
+        )
+        clone.hops = self.hops
+        clone.ect = self.ect
+        clone.ce = self.ce
+        clone.ece = self.ece
+        return clone
+
+    def __repr__(self) -> str:
+        core = f"{self.kind} {self.flow} {self.src}->{self.dst} seq={self.seq}"
+        if self.kind == ACK:
+            core += f" ack={self.ack}"
+        return f"Packet({core})"

@@ -1,0 +1,95 @@
+"""Gateway queue abstraction.
+
+A :class:`Gateway` sits between a router and an outgoing link's
+transmitter: arriving packets are offered to :meth:`enqueue` (which may drop
+them — that *is* congestion in this simulator) and the link transmitter
+pulls them back out with :meth:`dequeue` whenever it goes idle.
+
+Concrete disciplines: :class:`repro.net.droptail.DropTailQueue` and
+:class:`repro.net.red.REDQueue`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .packet import Packet
+
+DropHook = Callable[[float, Packet, str], None]
+EnqueueHook = Callable[[float, Packet, int], None]
+
+
+class Gateway:
+    """Base FIFO gateway; subclasses decide *whether to accept* a packet."""
+
+    #: Human-readable discipline name, overridden by subclasses.
+    discipline = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"non-positive queue capacity: {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self.bytes_queued = 0
+        # lifetime statistics
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+        self._drop_hooks: List[DropHook] = []
+        self._enqueue_hooks: List[EnqueueHook] = []
+        #: Mean packet service time on the attached link; set by the link at
+        #: attach time.  RED needs it to age the average queue across idle
+        #: periods; other disciplines may ignore it.
+        self.mean_pkt_time: float = 0.0
+
+    # -- hooks ---------------------------------------------------------
+    def on_drop(self, hook: DropHook) -> None:
+        """Register ``hook(now, packet, reason)`` to observe drops."""
+        self._drop_hooks.append(hook)
+
+    def on_enqueue(self, hook: EnqueueHook) -> None:
+        """Register ``hook(now, packet, depth_after)`` to observe arrivals."""
+        self._enqueue_hooks.append(hook)
+
+    def _notify_drop(self, now: float, packet: Packet, reason: str) -> None:
+        self.dropped += 1
+        for hook in self._drop_hooks:
+            hook(now, packet, reason)
+
+    def _accept(self, now: float, packet: Packet) -> None:
+        self._queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueued += 1
+        depth = len(self._queue)
+        for hook in self._enqueue_hooks:
+            hook(now, packet, depth)
+
+    # -- discipline interface -------------------------------------------
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        """Offer a packet; return True if accepted, False if dropped."""
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size
+        self.dequeued += 1
+        return packet
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        """Current queue length in packets."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(depth={len(self._queue)}/{self.capacity}, "
+            f"drops={self.dropped})"
+        )

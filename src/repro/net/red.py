@@ -1,0 +1,124 @@
+"""Random Early Detection (RED) gateway — Floyd & Jacobson 1993.
+
+The paper's key property of RED (§1): *all connections sharing the gateway
+see the same loss probability*, which makes window-based fairness analysis
+tractable (Theorem I).  We implement the full algorithm from the RED paper,
+with the parameterization the authors used in NS2:
+
+* ``min_th = 5``, ``max_th = 15`` packets, physical buffer 20 packets,
+* queue-average weight ``w_q = 0.002``,
+* maximum marking probability ``max_p = 0.1`` (ns-2 default ``linterm = 10``),
+* the count-since-last-drop correction that spaces drops roughly uniformly,
+* idle-time aging of the average using the link's mean packet time.
+
+Packets are *dropped*, not ECN-marked — the 1998 Internet had no ECN.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .packet import Packet
+from .queue import Gateway
+
+
+class REDQueue(Gateway):
+    """A RED gateway with drop-based congestion notification."""
+
+    discipline = "red"
+
+    def __init__(
+        self,
+        capacity: int = 20,
+        min_th: float = 5.0,
+        max_th: float = 15.0,
+        w_q: float = 0.002,
+        max_p: float = 0.1,
+        rng: Optional[random.Random] = None,
+        mark_ecn: bool = False,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0 < min_th < max_th:
+            raise ValueError(f"need 0 < min_th < max_th, got {min_th}, {max_th}")
+        if not 0 < w_q <= 1:
+            raise ValueError(f"w_q out of (0, 1]: {w_q}")
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p out of (0, 1]: {max_p}")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.w_q = w_q
+        self.max_p = max_p
+        self.rng = rng if rng is not None else random.Random(0)
+        #: When True, early notifications MARK ECN-capable packets instead
+        #: of dropping them (RFC 3168 style; forced and overflow regions
+        #: still drop).  An extension beyond the paper's 1998 setting.
+        self.mark_ecn = mark_ecn
+        #: EWMA of the queue length, in packets.
+        self.avg = 0.0
+        #: Packets since the last early drop (the uniformization counter).
+        self.count = -1
+        self._idle_since: Optional[float] = 0.0
+        # statistics split by cause
+        self.early_drops = 0
+        self.forced_drops = 0
+        self.overflow_drops = 0
+        self.ecn_marks = 0
+
+    # ------------------------------------------------------------------
+    def _update_average(self, now: float) -> None:
+        """Refresh ``avg`` at packet arrival, aging it across idle periods."""
+        if self._queue:
+            self.avg += self.w_q * (len(self._queue) - self.avg)
+            return
+        # Queue empty: pretend m small packets arrived to an empty queue,
+        # where m is how many packets could have been serviced while idle.
+        if self._idle_since is not None and self.mean_pkt_time > 0:
+            m = (now - self._idle_since) / self.mean_pkt_time
+            self.avg *= (1.0 - self.w_q) ** m
+        else:
+            self.avg += self.w_q * (0.0 - self.avg)
+
+    def _drop_probability(self) -> float:
+        """The geometric inter-drop correction p_a from the RED paper."""
+        p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        p_b = min(p_b, self.max_p)
+        if self.count * p_b >= 1.0:
+            return 1.0
+        return p_b / (1.0 - self.count * p_b)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        self._update_average(now)
+        self._idle_since = None
+        if len(self._queue) >= self.capacity:
+            # Physical overflow — can happen in bursts even under RED.
+            self.overflow_drops += 1
+            self._notify_drop(now, packet, "overflow")
+            return False
+        if self.avg >= self.max_th:
+            self.count = 0
+            self.forced_drops += 1
+            self._notify_drop(now, packet, "forced")
+            return False
+        if self.avg > self.min_th:
+            self.count += 1
+            if self.rng.random() < self._drop_probability():
+                self.count = 0
+                if self.mark_ecn and packet.ect:
+                    self.ecn_marks += 1
+                    packet.ce = True
+                else:
+                    self.early_drops += 1
+                    self._notify_drop(now, packet, "early")
+                    return False
+        else:
+            self.count = -1
+        self._accept(now, packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = super().dequeue(now)
+        if packet is not None and not self._queue:
+            self._idle_since = now
+        return packet

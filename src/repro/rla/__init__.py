@@ -1,0 +1,22 @@
+"""The Random Listening Algorithm — the paper's contribution (DESIGN.md S7-S8)."""
+
+from .config import RLAConfig
+from .congestion import TroubleTracker
+from .generalized import GeneralizedRLASession, rtt_scaling
+from .policy import LaggardDropPolicy
+from .receiver import RLAReceiver
+from .sender import RLASender
+from .session import RLASession
+from .state import ReceiverState
+
+__all__ = [
+    "LaggardDropPolicy",
+    "RLAConfig",
+    "RLAReceiver",
+    "RLASender",
+    "RLASession",
+    "GeneralizedRLASession",
+    "ReceiverState",
+    "TroubleTracker",
+    "rtt_scaling",
+]

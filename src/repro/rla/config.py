@@ -1,0 +1,116 @@
+"""Configuration of the Random Listening Algorithm sender.
+
+Defaults implement §3.3 of the paper with the recommended constants:
+``eta = 20`` for the troubled-receiver threshold, losses grouped within
+``2 * srtt_i``, forced-cut after ``2 * awnd * srtt_i`` without a cut, and
+``rexmit_thresh = 0`` (all retransmissions multicast) as in the §5 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import ACK_SIZE, DEFAULT_PACKET_SIZE
+
+
+@dataclass
+class RLAConfig:
+    """Tunables of an RLA multicast session.
+
+    Attributes
+    ----------
+    eta:
+        Trouble threshold constant: receiver ``i`` is *troubled* while its
+        mean congestion-signal interval is below ``eta`` times the smallest
+        mean interval among all receivers (§3.3 rule 6; §4.2 requires
+        ``1/eta`` above ~0.03 for the upper bound — 20 is recommended).
+    interval_gain:
+        Gain of the exponentially-weighted moving average of congestion
+        signal intervals.
+    awnd_gain:
+        Gain of the moving average of the window size (``awnd``), updated
+        once per fully-acknowledged packet.
+    congestion_group_rtts:
+        Losses within this many smoothed RTTs of the congestion-period
+        start are folded into one congestion signal (the paper uses 2).
+    forced_cut_awnd_rtts:
+        Force a cut if the last cut is older than this factor times
+        ``awnd * srtt_i`` (the paper uses 2, footnote 7).
+    rexmit_thresh:
+        Retransmissions requested by more than this many receivers are
+        multicast; otherwise unicast (§3.3; the §5 runs use 0).
+    rtx_wait_rtts:
+        How long (in units of the largest receiver srtt) the sender waits
+        to hear from all receivers before deciding how to retransmit.
+    rcv_buffer:
+        Receiver buffer in packets; the send window never runs more than
+        this far past ``min_last_ack`` (§3.3 rule 5).
+    rtt_scaled_pthresh:
+        Enables the generalized RLA of §5.3:
+        ``pthresh = (srtt_i / srtt_max)^2 / num_trouble_rcvr``.
+    forced_cut_enabled:
+        Ablation switch (A2): turn off the forced-cut protection.
+    phase_jitter:
+        Uniform per-packet processing delay in ``[0, phase_jitter]`` for
+        drop-tail phase-effect elimination (§3.1); ``None`` disables.
+    ack_jitter:
+        Uniform random delay in ``[0, ack_jitter]`` before each receiver
+        ACK.  On a symmetric tree every multicast delivery is simultaneous
+        at all receivers, so their ACKs implode on the reverse bottleneck
+        queue in one deterministic burst — the same receivers' ACKs are
+        tail-dropped every round and the session live-locks.  Randomizing
+        feedback timing (the standard multicast feedback-suppression
+        device, and the receiver-side twin of §3.1's random processing
+        time) desynchronizes the implosion.
+    """
+
+    packet_size: int = DEFAULT_PACKET_SIZE
+    ack_size: int = ACK_SIZE
+    initial_cwnd: float = 1.0
+    initial_ssthresh: float = 64.0
+    max_cwnd: float = 1e9
+    dupack_threshold: int = 3
+    eta: float = 20.0
+    interval_gain: float = 0.125
+    awnd_gain: float = 0.05
+    congestion_group_rtts: float = 2.0
+    forced_cut_awnd_rtts: float = 2.0
+    rexmit_thresh: int = 0
+    rtx_wait_rtts: float = 1.0
+    rcv_buffer: int = 256
+    rtt_scaled_pthresh: bool = False
+    forced_cut_enabled: bool = True
+    phase_jitter: Optional[float] = None
+    ack_jitter: float = 0.002
+    #: ECN extension: send ECN-capable data and treat echoed marks as
+    #: congestion signals (grouped and randomized exactly like losses).
+    #: Needs gateways with ``mark_ecn=True``; beyond the 1998 paper.
+    ecn: bool = False
+    min_rto: float = 1.0
+    max_rto: float = 64.0
+
+    def validate(self) -> "RLAConfig":
+        """Raise :class:`ConfigurationError` on out-of-range parameters."""
+        if self.packet_size <= 0:
+            raise ConfigurationError(f"packet_size must be positive: {self.packet_size}")
+        if self.eta < 1:
+            raise ConfigurationError(f"eta must be >= 1: {self.eta}")
+        if not 0 < self.interval_gain <= 1:
+            raise ConfigurationError(f"interval_gain out of (0, 1]: {self.interval_gain}")
+        if not 0 < self.awnd_gain <= 1:
+            raise ConfigurationError(f"awnd_gain out of (0, 1]: {self.awnd_gain}")
+        if self.congestion_group_rtts <= 0:
+            raise ConfigurationError(
+                f"congestion_group_rtts must be positive: {self.congestion_group_rtts}"
+            )
+        if self.rexmit_thresh < 0:
+            raise ConfigurationError(f"negative rexmit_thresh: {self.rexmit_thresh}")
+        if self.rcv_buffer < 1:
+            raise ConfigurationError(f"rcv_buffer must be >= 1: {self.rcv_buffer}")
+        if self.phase_jitter is not None and self.phase_jitter < 0:
+            raise ConfigurationError(f"negative phase_jitter: {self.phase_jitter}")
+        if self.ack_jitter < 0:
+            raise ConfigurationError(f"negative ack_jitter: {self.ack_jitter}")
+        return self

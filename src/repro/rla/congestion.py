@@ -1,0 +1,65 @@
+"""Troubled-receiver accounting (§3.3 rule 6).
+
+A congested receiver counts as *troubled* only if it reports congestion
+frequently enough: its mean congestion-signal interval must be below
+``eta * min_congestion_interval``, where ``min_congestion_interval`` is the
+smallest interval average among all receivers.  Equivalently (since the
+congestion probability is inversely proportional to the interval), its
+congestion probability exceeds ``p_max / eta`` — the condition §4.2 uses to
+keep the Proposition's upper bound valid.
+
+``num_trouble_rcvr`` is re-counted on every signal, so the set adapts when
+bottlenecks appear or fade (helped by the silence-stretched intervals in
+:meth:`ReceiverState.effective_interval`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .state import ReceiverState
+
+
+class TroubleTracker:
+    """Maintains the dynamic troubled-receiver count for the RLA sender."""
+
+    def __init__(self, eta: float, interval_gain: float) -> None:
+        self.eta = eta
+        self.interval_gain = interval_gain
+        self.num_trouble = 0
+        self.min_interval: Optional[float] = None
+
+    def record_signal(self, state: ReceiverState, now: float,
+                      peers: Iterable[ReceiverState]) -> None:
+        """Process a congestion signal from ``state`` and re-count trouble."""
+        state.record_signal(now, self.interval_gain)
+        self.recount(now, peers)
+
+    def recount(self, now: float, peers: Iterable[ReceiverState]) -> None:
+        """Recompute ``min_congestion_interval`` and the troubled set."""
+        intervals: Dict[ReceiverState, float] = {}
+        for peer in peers:
+            interval = peer.effective_interval(now)
+            if interval is not None:
+                intervals[peer] = interval
+        if not intervals:
+            self.min_interval = None
+            self.num_trouble = 0
+            return
+        self.min_interval = min(intervals.values())
+        threshold = self.eta * self.min_interval
+        count = 0
+        for peer, interval in intervals.items():
+            peer.troubled = interval <= threshold
+            if peer.troubled:
+                count += 1
+        self.num_trouble = count
+
+    def pthresh(self, scale: float = 1.0) -> float:
+        """The window-cut probability for one congestion signal.
+
+        ``scale`` is 1 for the restricted topology and
+        ``(srtt_i / srtt_max)^2`` for the generalized RLA (§5.3).
+        """
+        n = max(self.num_trouble, 1)
+        return min(1.0, scale / n)

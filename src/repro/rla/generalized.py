@@ -1,0 +1,50 @@
+"""The generalized RLA for heterogeneous round-trip times (§5.3).
+
+For receivers at different distances the paper scales the listening
+probability by ``f(srtt_i / srtt_max)`` with ``f(x) = x^2``, because a
+TCP-like window policy yields throughput proportional to ``RTT^-k`` with
+``1 <= k < 2`` — so a short-RTT receiver's (frequent) congestion signals
+must be discounted for the session not to collapse to the shortest branch.
+
+The mechanism itself lives in :class:`repro.rla.sender.RLASender`
+(``rtt_scaled_pthresh``); this module provides the scaling function for
+reuse in analysis and a convenience constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from ..net.network import Network
+from ..sim.engine import Simulator
+from .config import RLAConfig
+from .session import RLASession
+
+
+def rtt_scaling(srtt: float, srtt_max: float, exponent: float = 2.0) -> float:
+    """The §5.3 scaling ``f(srtt/srtt_max) = (srtt/srtt_max)^exponent``.
+
+    Clamped into [0, 1]; equal RTTs give 1, recovering the original RLA.
+    """
+    if srtt_max <= 0:
+        return 1.0
+    ratio = min(max(srtt / srtt_max, 0.0), 1.0)
+    return ratio ** exponent
+
+
+class GeneralizedRLASession(RLASession):
+    """An :class:`RLASession` with RTT-scaled listening enabled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        flow: str,
+        src: str,
+        members: Iterable[str],
+        config: Optional[RLAConfig] = None,
+        group: Optional[str] = None,
+    ) -> None:
+        config = replace(config or RLAConfig(), rtt_scaled_pthresh=True)
+        super().__init__(sim, net, flow, src, members, config=config, group=group)

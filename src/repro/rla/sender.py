@@ -1,0 +1,410 @@
+"""The RLA multicast sender (§3.3 of the paper).
+
+One sender, N receivers.  Data goes out on a multicast group; every
+receiver returns SACK acknowledgments.  The congestion-control skeleton:
+
+1.  *Loss detection* — per receiver, a segment is lost once a segment at
+    least 3 higher has been selectively acked by that receiver.
+2.  *Congestion detection* — losses from receiver ``i`` within
+    ``2 * srtt_i`` of the congestion-period start are grouped into one
+    congestion signal.
+3.  *Window adjustment on congestion* — update the troubled-receiver
+    count; skip rare losses from non-troubled receivers; force a cut if
+    the last cut is older than ``2 * awnd * srtt_i``; otherwise cut with
+    probability ``pthresh = 1 / num_trouble_rcvr`` (random listening).
+4.  *Window growth* — ``cwnd += 1/cwnd`` per packet ACKed by **all**
+    receivers (slow start below ``ssthresh``).
+5.  *Window bounds* — the lower edge trails ``max_reach_all``; the upper
+    edge never exceeds ``min_last_ack + receiver buffer``.
+6.  *Trouble counting* — via ``eta * min_congestion_interval`` (see
+    :mod:`repro.rla.congestion`).
+
+Retransmissions (footnote 8): the sender waits roughly one (largest) RTT
+to hear from all receivers, then multicasts the repair if more than
+``rexmit_thresh`` receivers want it, else unicasts to each requester; a
+retry loop guarantees eventual delivery, making the session reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigurationError
+from ..net.node import Node
+from ..net.packet import ACK, DATA, Packet
+from ..sim.engine import Simulator
+from ..sim.process import Timer
+from .config import RLAConfig
+from .congestion import TroubleTracker
+from .state import ReceiverState
+
+#: RTT assumed before the first sample of a receiver arrives.
+_DEFAULT_SRTT = 0.1
+
+
+class RLASender:
+    """Multicast sender running the Random Listening Algorithm."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow: str,
+        group: str,
+        receiver_ids: List[str],
+        config: Optional[RLAConfig] = None,
+    ) -> None:
+        if not receiver_ids:
+            raise ConfigurationError("RLA session needs at least one receiver")
+        self.sim = sim
+        self.node = node
+        self.flow = flow
+        self.group = group
+        self.config = (config or RLAConfig()).validate()
+        cfg = self.config
+        self.receivers: Dict[str, ReceiverState] = {
+            rid: ReceiverState(rid, cfg.min_rto, cfg.max_rto) for rid in receiver_ids
+        }
+        self.n_receivers = len(receiver_ids)
+        self.tracker = TroubleTracker(cfg.eta, cfg.interval_gain)
+
+        # window state
+        self.cwnd: float = cfg.initial_cwnd
+        self.ssthresh: float = cfg.initial_ssthresh
+        self.awnd: float = cfg.initial_cwnd
+        self.snd_nxt = 0
+        self.max_reach_all = -1          # highest seq received by ALL receivers
+        self._min_last_ack = 0
+        self.last_window_cut = sim.now
+
+    # reliability state
+        self._reach: Dict[int, int] = {}          # seq -> receivers holding it
+        self._send_time: Dict[int, float] = {}    # seq -> first transmission time
+        self._retransmitted: Set[int] = set()
+        self._rtx_requests: Dict[int, Set[str]] = {}
+        self._rtx_scheduled: Set[int] = set()
+        self._all_ack_timer = Timer(sim, self._on_timeout, name=f"{flow}.rto")
+
+        self._listen_rng = sim.rng.stream(f"{flow}.listen")
+        self._jitter_rng = sim.rng.stream(f"{flow}.jitter")
+        self._started = False
+
+        # lifetime statistics
+        self.packets_sent = 0
+        self.rtx_multicast = 0
+        self.rtx_unicast = 0
+        self.congestion_signals = 0
+        self.window_cuts = 0
+        self.forced_cuts = 0
+        self.timeouts = 0
+        self.cwnd_integral = 0.0
+        self._cwnd_clock = sim.now
+        self.rtt_all_sum = 0.0
+        self.rtt_all_samples = 0
+
+    # ------------------------------------------------------------------
+    # public control
+    # ------------------------------------------------------------------
+    def start(self, offset: float = 0.0) -> None:
+        """Begin transmitting after ``offset`` seconds."""
+        if self._started:
+            return
+        self._started = True
+        start_time = self.sim.now + offset
+        for state in self.receivers.values():
+            state.observation_start = start_time
+        self.last_window_cut = start_time
+        self.sim.schedule_after(offset, self._kick, name=f"{self.flow}.start")
+
+    def on_packet(self, packet: Packet) -> None:
+        """Node-bound handler; the sender consumes receiver ACKs."""
+        if packet.kind == ACK and packet.receiver is not None:
+            self._on_ack(packet)
+
+    # ------------------------------------------------------------------
+    # window statistics
+    # ------------------------------------------------------------------
+    def _note_cwnd(self) -> None:
+        now = self.sim.now
+        self.cwnd_integral += self.cwnd * (now - self._cwnd_clock)
+        self._cwnd_clock = now
+
+    def _set_cwnd(self, value: float) -> None:
+        self._note_cwnd()
+        self.cwnd = min(max(value, 1.0), self.config.max_cwnd)
+
+    @property
+    def min_last_ack(self) -> int:
+        """Smallest cumulative ACK point over all receivers (§3.3)."""
+        return self._min_last_ack
+
+    def _max_srtt(self) -> float:
+        return max(state.srtt(_DEFAULT_SRTT) for state in self.receivers.values())
+
+    # ------------------------------------------------------------------
+    # ACK path
+    # ------------------------------------------------------------------
+    def _on_ack(self, packet: Packet) -> None:
+        state = self.receivers.get(packet.receiver)
+        if state is None:
+            return
+        now = self.sim.now
+        if packet.echo_ts > 0:
+            state.rtt.update(now - packet.echo_ts)
+
+        old_last_ack = state.last_ack
+        newly = state.update_ack(packet.ack if packet.ack is not None else 0, packet.sack)
+        if state.last_ack != old_last_ack and old_last_ack == self._min_last_ack:
+            self._min_last_ack = min(s.last_ack for s in self.receivers.values())
+        for seq in newly:
+            self._count_reach(seq)
+
+        fresh_losses = state.detect_losses(self.snd_nxt, self.config.dupack_threshold)
+        if fresh_losses:
+            for seq in fresh_losses:
+                self._request_retransmit(seq, state.id)
+        if fresh_losses or packet.ece:
+            # Losses and echoed ECN marks feed the same congestion-period
+            # grouping: at most one signal per 2*srtt per receiver.
+            srtt = state.srtt(_DEFAULT_SRTT)
+            if now - state.cperiod_start > self.config.congestion_group_rtts * srtt:
+                state.cperiod_start = now
+                self._on_congestion_signal(state, srtt)
+
+        self._all_ack_timer.start(self._rto())
+        self._try_send()
+
+    def _count_reach(self, seq: int) -> None:
+        count = self._reach.get(seq, 0) + 1
+        if count < self.n_receivers:
+            self._reach[seq] = count
+            return
+        self._reach.pop(seq, None)
+        self._on_full_ack(seq)
+
+    def _on_full_ack(self, seq: int) -> None:
+        """Rule 4: a packet ACKed by all receivers grows the window."""
+        if seq > self.max_reach_all:
+            self.max_reach_all = seq
+        first_sent = self._send_time.pop(seq, None)
+        if first_sent is not None and seq not in self._retransmitted:
+            self.rtt_all_sum += self.sim.now - first_sent
+            self.rtt_all_samples += 1
+        self._retransmitted.discard(seq)
+        self._rtx_requests.pop(seq, None)
+        if self.cwnd < self.ssthresh:
+            self._set_cwnd(self.cwnd + 1.0)
+        else:
+            self._set_cwnd(self.cwnd + 1.0 / self.cwnd)
+        self.awnd += self.config.awnd_gain * (self.cwnd - self.awnd)
+
+    # ------------------------------------------------------------------
+    # membership (the §4.3 slow-receiver option)
+    # ------------------------------------------------------------------
+    def remove_receiver(self, receiver_id: str) -> None:
+        """Eject a receiver from the session (§4.3's drop-the-laggard option).
+
+        The reached-all threshold shrinks, so packets the departed
+        receiver was the last holdout for complete immediately; the send
+        window's buffer bound is recomputed from the remaining receivers.
+        Packets the ejected receiver ACKs after removal are ignored.
+        """
+        state = self.receivers.pop(receiver_id, None)
+        if state is None:
+            return
+        if not self.receivers:
+            # keep the invariant "at least one receiver": re-add and refuse
+            self.receivers[receiver_id] = state
+            raise ConfigurationError("cannot remove the last receiver")
+        self.n_receivers -= 1
+        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+        # Old reach counts may include the departed receiver's ACKs, so
+        # recompute completion for every pending packet from the remaining
+        # receivers' actual state.
+        pending = sorted(self._reach)
+        self._reach = {}
+        for seq in pending:
+            holders = sum(1 for st in self.receivers.values() if st.has(seq))
+            if holders >= self.n_receivers:
+                self._on_full_ack(seq)
+            else:
+                self._reach[seq] = holders
+        self.tracker.recount(self.sim.now, self.receivers.values())
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # congestion reaction (the random listening core)
+    # ------------------------------------------------------------------
+    def _on_congestion_signal(self, state: ReceiverState, srtt: float) -> None:
+        now = self.sim.now
+        self.congestion_signals += 1
+        self.tracker.record_signal(state, now, self.receivers.values())
+        if not state.troubled:
+            return  # rare loss from a non-troubled receiver: skip (rule 3)
+        cfg = self.config
+        # The forced-cut deadline rides the session's round-trip time (the
+        # largest receiver srtt): with heterogeneous RTTs, using the
+        # signalling receiver's own srtt would give near receivers an
+        # absurdly short deadline and forced cuts would displace random
+        # listening entirely (the paper's tables show zero forced cuts).
+        if (
+            cfg.forced_cut_enabled
+            and now - self.last_window_cut
+            > cfg.forced_cut_awnd_rtts * self.awnd * self._max_srtt()
+        ):
+            self._cut_window(forced=True)
+            return
+        scale = 1.0
+        if cfg.rtt_scaled_pthresh:
+            ratio = srtt / self._max_srtt()
+            scale = ratio * ratio
+        if self._listen_rng.random() <= self.tracker.pthresh(scale):
+            self._cut_window(forced=False)
+
+    def _cut_window(self, forced: bool) -> None:
+        self.window_cuts += 1
+        if forced:
+            self.forced_cuts += 1
+        self._set_cwnd(self.cwnd / 2.0)
+        self.ssthresh = max(self.cwnd, 2.0)
+        self.last_window_cut = self.sim.now
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        self._try_send()
+        if not self._all_ack_timer.pending:
+            self._all_ack_timer.start(self._rto())
+
+    def _window_limit(self) -> int:
+        by_cwnd = self.max_reach_all + 1 + int(self.cwnd)
+        by_buffer = self._min_last_ack + self.config.rcv_buffer
+        return min(by_cwnd, by_buffer)
+
+    def _try_send(self) -> None:
+        limit = self._window_limit()
+        while self.snd_nxt < limit:
+            seq = self.snd_nxt
+            self.snd_nxt += 1
+            self._send_time[seq] = self.sim.now
+            self._transmit(seq, self.group, is_rtx=False)
+
+    def _transmit(self, seq: int, dst: str, is_rtx: bool) -> None:
+        if self.config.phase_jitter:
+            delay = self._jitter_rng.uniform(0.0, self.config.phase_jitter)
+            self.sim.schedule_after(delay, self._transmit_now, seq, dst, is_rtx,
+                                    name=f"{self.flow}.jit")
+        else:
+            self._transmit_now(seq, dst, is_rtx)
+
+    def _transmit_now(self, seq: int, dst: str, is_rtx: bool) -> None:
+        packet = Packet(
+            DATA,
+            self.flow,
+            self.node.id,
+            dst,
+            seq,
+            self.config.packet_size,
+            sent_time=self.sim.now,
+            is_retransmit=is_rtx,
+        )
+        packet.ect = self.config.ecn
+        self.packets_sent += 1
+        self.node.send(packet)
+
+    # ------------------------------------------------------------------
+    # retransmission engine (footnote 8)
+    # ------------------------------------------------------------------
+    def _request_retransmit(self, seq: int, receiver_id: str) -> None:
+        self._rtx_requests.setdefault(seq, set()).add(receiver_id)
+        if seq in self._rtx_scheduled:
+            return
+        self._rtx_scheduled.add(seq)
+        wait = self.config.rtx_wait_rtts * self._max_srtt()
+        self.sim.schedule_after(wait, self._decide_retransmit, seq,
+                                name=f"{self.flow}.rtx")
+
+    def _decide_retransmit(self, seq: int) -> None:
+        self._rtx_scheduled.discard(seq)
+        requesters = self._rtx_requests.pop(seq, set())
+        missing = [rid for rid in requesters if not self.receivers[rid].has(seq)]
+        if not missing:
+            return
+        self._send_repair(seq, missing)
+
+    def _send_repair(self, seq: int, missing: List[str]) -> None:
+        self._retransmitted.add(seq)
+        if len(missing) > self.config.rexmit_thresh:
+            self.rtx_multicast += 1
+            self._transmit(seq, self.group, is_rtx=True)
+        else:
+            for rid in missing:
+                self.rtx_unicast += 1
+                self._transmit(seq, rid, is_rtx=True)
+        retry_after = 2.0 * self._max_srtt() + self.config.min_rto
+        self.sim.schedule_after(retry_after, self._verify_repair, seq,
+                                name=f"{self.flow}.rtxchk")
+
+    def _verify_repair(self, seq: int) -> None:
+        """Retry loop: keep repairing until every receiver holds ``seq``.
+
+        Note ``max_reach_all`` cannot serve as the delivery check here: it
+        is the highest seq received by all and deliberately skips holes.
+        """
+        missing = [rid for rid, st in self.receivers.items() if not st.has(seq)]
+        if missing:
+            self._send_repair(seq, missing)
+
+    # ------------------------------------------------------------------
+    # timeout safety net
+    # ------------------------------------------------------------------
+    def _rto(self) -> float:
+        rtos = [st.rtt.rto() for st in self.receivers.values()]
+        return max(rtos)
+
+    def _on_timeout(self) -> None:
+        """No ACK from anyone for a full RTO — treat like a TCP timeout."""
+        if self._min_last_ack >= self.snd_nxt:
+            return  # nothing outstanding (everyone holds all of [0, snd_nxt))
+        self.timeouts += 1
+        self.window_cuts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self._set_cwnd(1.0)
+        self.last_window_cut = self.sim.now
+        # Repair every outstanding hole: small-window losses sit below the
+        # 3-dupack detection threshold, so one-hole-per-RTO recovery would
+        # crawl (and back off) forever in a lossy startup.
+        for seq in range(self._min_last_ack, self.snd_nxt):
+            missing = [rid for rid, st in self.receivers.items() if not st.has(seq)]
+            if missing:
+                self._send_repair(seq, missing)
+        self._all_ack_timer.start(self._rto())
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot; experiments diff two snapshots for a window."""
+        self._note_cwnd()
+        return {
+            "packets_sent": self.packets_sent,
+            "rtx_multicast": self.rtx_multicast,
+            "rtx_unicast": self.rtx_unicast,
+            "congestion_signals": self.congestion_signals,
+            "window_cuts": self.window_cuts,
+            "forced_cuts": self.forced_cuts,
+            "timeouts": self.timeouts,
+            "cwnd_integral": self.cwnd_integral,
+            "cwnd": self.cwnd,
+            "max_reach_all": self.max_reach_all,
+            "rtt_all_sum": self.rtt_all_sum,
+            "rtt_all_samples": self.rtt_all_samples,
+            "signals_by_receiver": {rid: st.signals for rid, st in self.receivers.items()},
+            "num_trouble": self.tracker.num_trouble,
+            "time": self.sim.now,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RLASender({self.flow}, cwnd={self.cwnd:.2f}, reach={self.max_reach_all}, "
+            f"nxt={self.snd_nxt}, cuts={self.window_cuts}, n={self.n_receivers})"
+        )

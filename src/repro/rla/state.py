@@ -1,0 +1,137 @@
+"""Per-receiver state kept by the RLA sender.
+
+For each receiver the sender tracks what the receiver holds (cumulative ACK
+point + SACKed segments), a smoothed RTT, the congestion-period clock used
+to group losses (§3.3 rule 2), and the congestion-signal interval average
+that feeds the troubled-receiver count (§3.3 rule 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..tcp.rto import RttEstimator
+
+SackBlock = Tuple[int, int]
+
+
+class ReceiverState:
+    """Everything the sender knows about one receiver."""
+
+    def __init__(self, receiver_id: str, min_rto: float = 1.0, max_rto: float = 64.0) -> None:
+        self.id = receiver_id
+        #: cumulative ACK point: all seq < last_ack received by this receiver
+        self.last_ack = 0
+        self._sacked: Set[int] = set()
+        self.max_sacked = -1
+        self.rtt = RttEstimator(min_rto, max_rto)
+        #: start of the current congestion period (grouping window)
+        self.cperiod_start = float("-inf")
+        #: EWMA of intervals between congestion signals; seeded at the first
+        #: signal with the time it took to produce it (see record_signal)
+        self.interval_ewma: Optional[float] = None
+        self.last_signal_time: Optional[float] = None
+        #: when this receiver came under observation (session start); used
+        #: to give the first congestion signal a meaningful interval
+        self.observation_start = 0.0
+        self.signals = 0
+        self.troubled = False
+        #: segments this receiver has been seen to lose (cleared on receipt)
+        self.lost_marks: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def srtt(self, default: float) -> float:
+        """Smoothed RTT to this receiver, or ``default`` before any sample."""
+        return self.rtt.srtt if self.rtt.srtt is not None else default
+
+    def has(self, seq: int) -> bool:
+        """True if this receiver is known to hold ``seq``."""
+        return seq < self.last_ack or seq in self._sacked
+
+    def update_ack(self, ack: int, sack: Optional[Iterable[SackBlock]]) -> List[int]:
+        """Digest one ACK from this receiver.
+
+        Returns the list of sequence numbers *newly* known to be received,
+        which the sender feeds into the reached-all counting.
+        """
+        newly: List[int] = []
+        if ack > self.last_ack:
+            for seq in range(self.last_ack, ack):
+                if seq not in self._sacked:
+                    newly.append(seq)
+            self.last_ack = ack
+            self._sacked = {s for s in self._sacked if s >= ack}
+        if sack:
+            for start, end in sack:
+                for seq in range(max(start, self.last_ack), end):
+                    if seq not in self._sacked:
+                        self._sacked.add(seq)
+                        newly.append(seq)
+                if end - 1 > self.max_sacked:
+                    self.max_sacked = end - 1
+        if ack - 1 > self.max_sacked:
+            self.max_sacked = ack - 1
+        if newly:
+            self.lost_marks.difference_update(newly)
+        return newly
+
+    def detect_losses(self, snd_nxt: int, dupthresh: int) -> List[int]:
+        """Fresh losses by the paper's rule (§3.3 rule 1).
+
+        A segment is deemed lost once a segment at least ``dupthresh``
+        higher has been SACKed by this receiver.  Segments already marked
+        lost stay marked (until received) and are not reported again.
+        """
+        limit = min(snd_nxt, self.max_sacked - dupthresh + 1)
+        fresh = [
+            seq
+            for seq in range(self.last_ack, limit)
+            if seq not in self._sacked and seq not in self.lost_marks
+        ]
+        if fresh:
+            self.lost_marks.update(fresh)
+        return fresh
+
+    def unmark_lost(self, seq: int) -> None:
+        """Forget a loss mark (after a retransmission gives it a new fate)."""
+        self.lost_marks.discard(seq)
+
+    # ------------------------------------------------------------------
+    def record_signal(self, now: float, gain: float) -> None:
+        """Fold a congestion signal at ``now`` into the interval average.
+
+        The first signal seeds the average with the time it took to appear
+        (since observation start).  Seeding with ~0 instead would collapse
+        ``min_congestion_interval`` for the whole session and momentarily
+        shrink the troubled set to this receiver alone — forcing a certain
+        window cut on every receiver's first signal.
+        """
+        self.signals += 1
+        if self.last_signal_time is None:
+            interval = max(now - self.observation_start, 1e-6)
+        else:
+            interval = now - self.last_signal_time
+        if self.interval_ewma is None:
+            self.interval_ewma = interval
+        else:
+            self.interval_ewma += gain * (interval - self.interval_ewma)
+        self.last_signal_time = now
+
+    def effective_interval(self, now: float) -> Optional[float]:
+        """Interval estimate used for trouble counting.
+
+        Uses the EWMA, stretched by current silence: a receiver that has
+        stopped reporting congestion ages out of the troubled set (this is
+        the "dynamic count" adaptivity of §3.3 rule 6 — without it, the
+        trouble count could never shrink when a bottleneck moves away).
+        """
+        if self.interval_ewma is None:
+            return None
+        silence = now - self.last_signal_time if self.last_signal_time is not None else 0.0
+        return max(self.interval_ewma, silence)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReceiverState({self.id}, ack={self.last_ack}, signals={self.signals}, "
+            f"troubled={self.troubled})"
+        )

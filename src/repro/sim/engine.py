@@ -1,0 +1,154 @@
+"""The discrete-event simulation engine.
+
+This is the substrate everything else runs on — the Python stand-in for the
+NS2 core the paper used.  It is a classic calendar-queue-style engine built
+on :mod:`heapq`:
+
+* :meth:`Simulator.schedule` inserts a callback at an absolute time,
+* :meth:`Simulator.schedule_after` at a relative offset,
+* :meth:`Simulator.run` drains the heap until a time horizon or until the
+  queue empties.
+
+Determinism: same-seed runs replay exactly.  Ties are broken by insertion
+order, and all randomness must come from :class:`repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulingError
+from .events import Event
+from .rng import RngStreams
+from .trace import Tracer
+
+
+class Simulator:
+    """A discrete-event simulator with a monotonically advancing clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-component random streams available through
+        :attr:`rng`.
+    trace:
+        Optional :class:`Tracer` capturing structured events; a fresh,
+        disabled tracer is created if omitted.
+    """
+
+    def __init__(self, seed: int = 1, trace: Optional[Tracer] = None) -> None:
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.rng = RngStreams(seed)
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        #: Count of events executed so far (for benchmarking / sanity checks).
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Scheduling in the past raises :class:`SchedulingError`; scheduling
+        exactly "now" is allowed and runs after the current event finishes.
+        """
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.9f} before now={self.now:.9f}"
+            )
+        event = Event(time, self._seq, callback, args, name=name)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.schedule(self.now + delay, callback, *args, name=name)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later than this horizon;
+            the clock is then advanced to ``until``.  ``None`` drains the
+            queue completely.
+        max_events:
+            Safety valve for tests: stop after this many executed events.
+
+        Returns the number of events executed during this call.
+        """
+        if self._running:
+            raise SchedulingError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        queue = self._queue
+        try:
+            while queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = queue[0]
+                if event.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(queue)
+                self.now = event.time
+                event.callback(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+        self.events_executed += executed
+        return executed
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.6f}, pending={self.pending()}, "
+            f"executed={self.events_executed})"
+        )

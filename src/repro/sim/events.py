@@ -1,0 +1,64 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` is a handle to a scheduled callback.  Handles support
+cancellation (lazy deletion: the engine skips cancelled entries when they
+reach the head of the heap) and rich comparison so they can live directly in
+a binary heap.
+
+Ordering is ``(time, sequence)``: events scheduled for the same instant fire
+in the order they were scheduled, which keeps runs deterministic — an
+essential property for a simulator whose whole point is studying *random*
+congestion-control decisions under controlled seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback, orderable by ``(time, seq)``."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
+
+    def __repr__(self) -> str:
+        label = self.name or getattr(self.callback, "__qualname__", "callback")
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {label}, {state})"

@@ -1,0 +1,46 @@
+"""Named random-number streams.
+
+Every stochastic component (each TCP flow's start jitter, the RLA sender's
+listening coin, each RED queue's drop draws, the phase-effect jitter, ...)
+draws from its *own* named stream derived deterministically from the master
+seed.  That way adding a component or reordering event execution never
+perturbs the randomness seen by unrelated components — runs stay comparable
+across code changes, which the paper's style of A/B experiments requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+import zlib
+
+
+class RngStreams:
+    """A factory of deterministic, independent :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The stream's seed mixes the master seed with a CRC of the name, so
+        the mapping is stable across processes and Python versions (unlike
+        ``hash(str)`` which is salted per process).
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        derived = (self.seed * 2654435761 + zlib.crc32(name.encode("utf-8"))) % (2**63)
+        stream = random.Random(derived)
+        self._streams[name] = stream
+        return stream
+
+    def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
+        """Convenience: one uniform draw from the named stream."""
+        return self.stream(name).uniform(low, high)
+
+    def names(self):
+        """Names of all streams created so far (sorted, for debugging)."""
+        return sorted(self._streams)

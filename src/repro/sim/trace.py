@@ -1,0 +1,52 @@
+"""Structured tracing of simulation events.
+
+A :class:`Tracer` records ``(time, category, fields)`` tuples when enabled.
+Experiments use it for debugging and for fine-grained assertions in tests
+(e.g. "the RED queue never dropped below min_th").  Disabled tracers cost a
+single attribute check per call site, so leaving trace hooks in hot paths is
+affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+TraceRecord = Tuple[float, str, Dict[str, Any]]
+
+
+class Tracer:
+    """Collects structured trace records, optionally filtered by category."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[Iterable[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.records: List[TraceRecord] = []
+        self._sink = sink
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record one trace event if tracing is on for ``category``."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        record = (time, category, fields)
+        if self._sink is not None:
+            self._sink(record)
+        else:
+            self.records.append(record)
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All stored records of the given category."""
+        return [r for r in self.records if r[1] == category]
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

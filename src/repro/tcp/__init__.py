@@ -1,0 +1,18 @@
+"""TCP SACK — the unicast competing-traffic substrate (DESIGN.md S6)."""
+
+from .config import TcpConfig
+from .flow import TcpFlow
+from .receiver import TcpReceiver
+from .rto import RttEstimator
+from .sack import ReceiverSackTracker, SenderScoreboard
+from .sender import TcpSender
+
+__all__ = [
+    "TcpConfig",
+    "TcpFlow",
+    "TcpReceiver",
+    "TcpSender",
+    "RttEstimator",
+    "ReceiverSackTracker",
+    "SenderScoreboard",
+]

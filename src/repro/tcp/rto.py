@@ -1,0 +1,60 @@
+"""Round-trip time estimation and retransmission timeout (RFC 6298 style).
+
+Jacobson/Karels smoothing: ``srtt`` is an EWMA with gain 1/8, ``rttvar``
+tracks mean deviation with gain 1/4, and the timer is
+``srtt + 4 * rttvar`` clamped to configured bounds, doubling on backoff.
+The same estimator serves TCP and (per-receiver) the RLA sender.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+ALPHA = 1.0 / 8.0
+BETA = 1.0 / 4.0
+K = 4.0
+
+
+class RttEstimator:
+    """Smoothed RTT + RTO computation with exponential backoff."""
+
+    def __init__(self, min_rto: float = 1.0, max_rto: float = 64.0) -> None:
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._backoff = 1.0
+        self.samples = 0
+        self.sample_sum = 0.0
+
+    def update(self, sample: float) -> None:
+        """Fold one RTT measurement (seconds) into the estimate."""
+        if sample <= 0:
+            return
+        self.samples += 1
+        self.sample_sum += sample
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar += BETA * (abs(self.srtt - sample) - self.rttvar)
+            self.srtt += ALPHA * (sample - self.srtt)
+        self._backoff = 1.0
+
+    def rto(self) -> float:
+        """Current retransmission timeout, including any backoff."""
+        if self.srtt is None:
+            base = self.min_rto * 3  # conservative until the first sample
+        else:
+            assert self.rttvar is not None
+            base = self.srtt + K * self.rttvar
+        return min(self.max_rto, max(self.min_rto, base) * self._backoff)
+
+    def backoff(self) -> None:
+        """Double the timer after a timeout (capped by ``max_rto``)."""
+        self._backoff = min(self._backoff * 2.0, self.max_rto / self.min_rto)
+
+    def mean_rtt(self) -> float:
+        """Arithmetic mean of all samples seen (paper's reported RTT)."""
+        return self.sample_sum / self.samples if self.samples else 0.0

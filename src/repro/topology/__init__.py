@@ -1,0 +1,36 @@
+"""Paper topologies: figure 1 (restricted) and figure 6 (tertiary tree)."""
+
+from .cases import (
+    RTT_CASES,
+    TREE_CASES,
+    TreeCase,
+    case_bandwidths,
+    case_receivers,
+    congestion_tiers,
+)
+from .restricted import RestrictedSpec, build_restricted
+from .tree import (
+    DEFAULT_BANDWIDTH,
+    LEVEL_DELAYS,
+    TreeInfo,
+    build_tertiary_tree,
+    static_tree_info,
+    tree_link_names,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "LEVEL_DELAYS",
+    "RTT_CASES",
+    "TREE_CASES",
+    "RestrictedSpec",
+    "TreeCase",
+    "TreeInfo",
+    "build_restricted",
+    "build_tertiary_tree",
+    "static_tree_info",
+    "case_bandwidths",
+    "case_receivers",
+    "congestion_tiers",
+    "tree_link_names",
+]

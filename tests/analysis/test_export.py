@@ -1,0 +1,60 @@
+"""CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import write_experiment_csv, write_timeseries_csv
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import ConfigurationError
+
+
+def test_timeseries_csv_columns():
+    a = TimeSeries("a")
+    b = TimeSeries("b")
+    a.append(0.0, 1.0)
+    a.append(1.0, 2.0)
+    b.append(0.5, 9.0)
+    buffer = io.StringIO()
+    rows = write_timeseries_csv(buffer, [a, b])
+    assert rows == 3
+    parsed = list(csv.reader(io.StringIO(buffer.getvalue())))
+    assert parsed[0] == ["time", "a", "b"]
+    assert parsed[1] == ["0.0", "1.0", ""]
+    assert parsed[2] == ["0.5", "", "9.0"]
+
+
+def test_timeseries_csv_to_file(tmp_path):
+    series = TimeSeries("x")
+    series.append(0.0, 1.0)
+    path = tmp_path / "out.csv"
+    write_timeseries_csv(str(path), [series])
+    assert path.read_text().startswith("time,x")
+
+
+def test_timeseries_csv_requires_series():
+    with pytest.raises(ConfigurationError):
+        write_timeseries_csv(io.StringIO(), [])
+
+
+class _FakeResult:
+    def __init__(self):
+        self.rla = [{"throughput_pps": 100.0,
+                     "signals_by_receiver": {"R1": 5, "R2": 7}}]
+        self.tcp = {"R1": {"throughput_pps": 80.0}}
+
+
+def test_experiment_csv_long_format():
+    buffer = io.StringIO()
+    rows = write_experiment_csv(buffer, {3: _FakeResult()})
+    parsed = list(csv.reader(io.StringIO(buffer.getvalue())))
+    assert parsed[0] == ["case", "section", "entity", "metric", "value"]
+    assert rows == len(parsed) - 1
+    sections = {row[1] for row in parsed[1:]}
+    assert sections == {"rla", "rla-signals", "tcp"}
+
+
+def test_experiment_csv_requires_results():
+    with pytest.raises(ConfigurationError):
+        write_experiment_csv(io.StringIO(), {})

@@ -1,0 +1,72 @@
+"""ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import heatmap, line_plot, multi_line_plot
+from repro.analysis.timeseries import TimeSeries
+from repro.errors import ConfigurationError
+
+
+def _series(name="s", n=20):
+    series = TimeSeries(name)
+    for t in range(n):
+        series.append(float(t), float(t % 7))
+    return series
+
+
+def test_line_plot_contains_axes_and_title():
+    text = line_plot(_series(), title="sawtooth")
+    assert "sawtooth" in text
+    assert "t=0.0s" in text
+    assert "+" in text and "|" in text
+
+
+def test_line_plot_dimensions():
+    text = line_plot(_series(), width=40, height=8)
+    plot_rows = [line for line in text.splitlines() if "|" in line]
+    assert len(plot_rows) == 8
+
+
+def test_multi_line_plot_legend():
+    a, b = _series("alpha"), _series("beta")
+    text = multi_line_plot([a, b])
+    assert "alpha" in text and "beta" in text
+
+
+def test_plot_flat_series_does_not_crash():
+    series = TimeSeries("flat")
+    series.append(0.0, 5.0)
+    series.append(1.0, 5.0)
+    assert "|" in line_plot(series)
+
+
+def test_plot_validation():
+    with pytest.raises(ConfigurationError):
+        line_plot(TimeSeries("empty"))
+    with pytest.raises(ConfigurationError):
+        line_plot(_series(), width=2)
+
+
+def test_heatmap_renders_peak():
+    grid = np.zeros((8, 8))
+    grid[4, 4] = 100.0
+    text = heatmap(grid, title="density")
+    assert "density" in text
+    assert "@" in text
+
+
+def test_heatmap_bucketing():
+    grid = np.ones((16, 16))
+    text = heatmap(grid, bucket=4)
+    rows = [line for line in text.splitlines() if "|" in line]
+    assert len(rows) == 4
+
+
+def test_heatmap_validation():
+    with pytest.raises(ConfigurationError):
+        heatmap(np.zeros(4))
+    with pytest.raises(ConfigurationError):
+        heatmap(np.zeros((4, 4)), bucket=0)
+    with pytest.raises(ConfigurationError):
+        heatmap(np.zeros((2, 2)), bucket=4)

@@ -1,0 +1,22 @@
+"""The RLA reach probe and series-based throughput measurement."""
+
+import pytest
+
+from repro.analysis.timeseries import reach_probe
+from repro.rla.session import RLASession
+
+
+def test_reach_probe_measures_reliable_throughput(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"])
+    session.start()
+    probe = reach_probe(sim, session.sender, interval=1.0)
+    probe.start()
+    sim.run(until=40.0)
+    series = probe.series
+    assert series.name == "reach.rla-0"
+    # the frontier is monotone non-decreasing
+    assert all(b >= a for a, b in zip(series.values, series.values[1:]))
+    # steady-state rate from the series matches the session report
+    rate = series.rate_of_change().window(10.0, 40.0)
+    mean_rate = rate.stats().mean
+    assert mean_rate == pytest.approx(200, rel=0.25)

@@ -1,0 +1,105 @@
+"""Streaming statistics primitives."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import Histogram, OnlineStats, TimeWeighted
+from repro.errors import ConfigurationError
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+def test_online_stats_empty():
+    stats = OnlineStats()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+
+
+def test_online_stats_known_values():
+    stats = OnlineStats()
+    stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.variance == pytest.approx(4.0)
+    assert stats.stddev == pytest.approx(2.0)
+    assert stats.minimum == 2.0
+    assert stats.maximum == 9.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(finite, min_size=2, max_size=200))
+def test_property_online_stats_match_batch(values):
+    stats = OnlineStats()
+    stats.extend(values)
+    assert stats.mean == pytest.approx(statistics.fmean(values), rel=1e-9,
+                                       abs=1e-6)
+    assert stats.variance == pytest.approx(statistics.pvariance(values),
+                                           rel=1e-6, abs=1e-6)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+
+
+def test_time_weighted_mean():
+    tw = TimeWeighted(start_time=0.0, initial=10.0)
+    tw.update(5.0, 20.0)   # 10 for 5 s
+    tw.update(10.0, 0.0)   # 20 for 5 s
+    assert tw.mean(10.0) == pytest.approx(15.0)
+    assert tw.mean(20.0) == pytest.approx(7.5)   # then 0 for 10 s
+    assert tw.current == 0.0
+
+
+def test_time_weighted_rejects_backwards_time():
+    tw = TimeWeighted()
+    tw.update(5.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        tw.update(4.0, 2.0)
+
+
+def test_time_weighted_before_any_update():
+    tw = TimeWeighted(start_time=1.0, initial=3.0)
+    assert tw.mean() == 3.0
+
+
+def test_histogram_binning():
+    hist = Histogram(0.0, 10.0, 10)
+    for value in (0.5, 1.5, 1.7, 9.9, -1.0, 10.0):
+        hist.add(value)
+    assert hist.counts[0] == 1
+    assert hist.counts[1] == 2
+    assert hist.counts[9] == 1
+    assert hist.underflow == 1
+    assert hist.overflow == 1
+    assert hist.total == 6
+
+
+def test_histogram_quantiles():
+    hist = Histogram(0.0, 100.0, 100)
+    for value in range(100):
+        hist.add(value + 0.5)
+    assert hist.quantile(0.5) == pytest.approx(50, abs=2)
+    assert hist.quantile(0.9) == pytest.approx(90, abs=2)
+    assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+
+def test_histogram_empty_quantile():
+    hist = Histogram(0.0, 1.0, 4)
+    assert hist.quantile(0.5) == 0.0
+
+
+def test_histogram_validation():
+    with pytest.raises(ConfigurationError):
+        Histogram(1.0, 1.0, 4)
+    with pytest.raises(ConfigurationError):
+        Histogram(0.0, 1.0, 0)
+    hist = Histogram(0.0, 1.0, 4)
+    with pytest.raises(ConfigurationError):
+        hist.quantile(1.5)
+
+
+def test_histogram_bin_edges():
+    hist = Histogram(0.0, 1.0, 4)
+    assert hist.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])

@@ -1,0 +1,118 @@
+"""Time-series containers and probes."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    Probe,
+    TimeSeries,
+    cwnd_probe,
+    queue_depth_probe,
+)
+from repro.errors import ConfigurationError
+from repro.net.droptail import DropTailQueue
+from repro.net.packet import DATA, Packet
+from repro.sim.engine import Simulator
+from repro.tcp.flow import TcpFlow
+
+
+def test_series_append_and_len():
+    series = TimeSeries("x")
+    series.append(0.0, 1.0)
+    series.append(1.0, 2.0)
+    assert len(series) == 2
+    assert series.pairs() == [(0.0, 1.0), (1.0, 2.0)]
+
+
+def test_series_rejects_backwards_time():
+    series = TimeSeries("x")
+    series.append(1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        series.append(0.5, 2.0)
+
+
+def test_series_window():
+    series = TimeSeries("x")
+    for t in range(10):
+        series.append(float(t), float(t * t))
+    cut = series.window(2.0, 5.0)
+    assert cut.times == [2.0, 3.0, 4.0]
+
+
+def test_series_value_at():
+    series = TimeSeries("x")
+    series.append(0.0, 10.0)
+    series.append(5.0, 20.0)
+    assert series.value_at(3.0) == 10.0
+    assert series.value_at(5.0) == 20.0
+    assert series.value_at(100.0) == 20.0
+    assert series.value_at(-1.0) == 10.0  # clamped to first sample
+
+
+def test_series_value_at_empty():
+    with pytest.raises(ConfigurationError):
+        TimeSeries("x").value_at(0.0)
+
+
+def test_series_rate_of_change():
+    series = TimeSeries("x")
+    series.append(0.0, 0.0)
+    series.append(2.0, 10.0)
+    series.append(4.0, 10.0)
+    rate = series.rate_of_change()
+    assert rate.values == pytest.approx([5.0, 0.0])
+
+
+def test_series_stats():
+    series = TimeSeries("x")
+    for v in (1.0, 2.0, 3.0):
+        series.append(float(v), v)
+    assert series.stats().mean == pytest.approx(2.0)
+
+
+def test_probe_samples_on_cadence():
+    sim = Simulator()
+    value = {"v": 0.0}
+    probe = Probe(sim, lambda: value["v"], interval=1.0, name="v")
+    probe.start()
+    sim.schedule(2.5, lambda: value.update(v=7.0))
+    sim.run(until=4.5)
+    assert probe.series.times == [1.0, 2.0, 3.0, 4.0]
+    assert probe.series.values == [0.0, 0.0, 7.0, 7.0]
+
+
+def test_probe_stop():
+    sim = Simulator()
+    probe = Probe(sim, lambda: 1.0, interval=1.0)
+    probe.start()
+    sim.schedule(2.5, probe.stop)
+    sim.run(until=10.0)
+    assert len(probe.series) == 2
+
+
+def test_probe_validation():
+    with pytest.raises(ConfigurationError):
+        Probe(Simulator(), lambda: 0.0, interval=0.0)
+
+
+def test_cwnd_probe_tracks_sawtooth(sim, two_node_net):
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    probe = cwnd_probe(sim, flow.sender, interval=0.5)
+    probe.start()
+    sim.run(until=60.0)
+    stats = probe.series.stats()
+    assert stats.count > 100
+    assert stats.maximum > stats.minimum  # the sawtooth moved
+    assert probe.series.name == "cwnd.tcp-0"
+
+
+def test_queue_depth_probe(sim, two_node_net):
+    gateway = two_node_net.link("A", "B").gateway
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    probe = queue_depth_probe(sim, gateway, interval=0.05)
+    probe.start()
+    sim.run(until=30.0)
+    stats = probe.series.stats()
+    assert stats.maximum == 20  # the buffer fills (buffer periods, §3.1)
+    assert stats.minimum <= 2   # and drains

@@ -1,0 +1,65 @@
+"""The deterministic every-n-signals listener (§3.2 strawman)."""
+
+from repro.net.addressing import group_address
+from repro.baselines.deterministic import DeterministicListenerSender
+from repro.net.packet import ACK, Packet
+from repro.net.node import Node
+from repro.rla.config import RLAConfig
+from repro.sim.engine import Simulator
+
+
+class _StubNode(Node):
+    def __init__(self):
+        super().__init__("S")
+        self.outbox = []
+
+    def send(self, packet):
+        self.outbox.append(packet)
+
+
+def _ack(receiver, ack, sack=None):
+    return Packet(ACK, "d-0", receiver, "S", ack, 40, ack=ack, sack=sack,
+                  receiver=receiver)
+
+
+def test_cuts_exactly_every_n_signals():
+    sim = Simulator()
+    node = _StubNode()
+    sender = DeterministicListenerSender(
+        sim, node, "d-0", group_address("d-0"), ["R1", "R2", "R3"],
+        config=RLAConfig(ack_jitter=0.0, forced_cut_enabled=False),
+    )
+    sender.cwnd = 64.0
+    sender.start()
+    sim.run(until=0.2)
+    # make all three receivers troubled with repeated, spaced signals
+    cut_times = []
+    seq = 0
+    for round_ in range(1, 10):
+        for rid in ("R1", "R2", "R3"):
+            # advance time beyond the 2-srtt grouping window
+            sim.schedule(sim.now + 1.0, lambda: None)
+            sim.run(until=sim.now + 1.0)
+            hole = 20 * round_ + 5
+            sender.on_packet(_ack(rid, hole, sack=((hole + 4, hole + 6),)))
+            if sender.window_cuts and (not cut_times or cut_times[-1] != sender.window_cuts):
+                cut_times.append(sender.window_cuts)
+    # deterministic listener: one cut per ceil(signals / num_trouble)
+    signals = sender.congestion_signals
+    expected = signals // 3
+    assert abs(sender.window_cuts - expected) <= 1
+
+
+def test_counter_resets_after_cut():
+    sim = Simulator()
+    node = _StubNode()
+    sender = DeterministicListenerSender(
+        sim, node, "d-0", group_address("d-0"), ["R1"],
+        config=RLAConfig(ack_jitter=0.0, forced_cut_enabled=False),
+    )
+    sender.start()
+    sim.run(until=0.2)
+    # n = 1: every signal is a cut
+    sender.on_packet(_ack("R1", 0, sack=((4, 6),)))
+    assert sender.window_cuts == 1
+    assert sender._signal_counter == 0

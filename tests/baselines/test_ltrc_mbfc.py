@@ -1,0 +1,78 @@
+"""LTRC and MBFC congestion decisions."""
+
+import pytest
+
+from repro.baselines.ltrc import LtrcSender
+from repro.baselines.mbfc import MbfcSender
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+
+def _ltrc(**kwargs):
+    sim = Simulator()
+    return LtrcSender(sim, Node("S"), "f", "group:g", ["R1", "R2", "R3"],
+                      **kwargs)
+
+
+def _mbfc(**kwargs):
+    sim = Simulator()
+    return MbfcSender(sim, Node("S"), "f", "group:g", ["R1", "R2", "R3", "R4"],
+                      **kwargs)
+
+
+def test_ltrc_triggers_on_any_receiver_over_threshold():
+    sender = _ltrc(loss_threshold=0.02, ewma_gain=1.0)
+    assert sender.congestion_decision({"R1": 0.0, "R2": 0.05}) is True
+
+
+def test_ltrc_smooths_reports():
+    sender = _ltrc(loss_threshold=0.1, ewma_gain=0.1)
+    # a single 0.5 spike smoothed by gain 0.1 starts the EWMA at 0.5 then
+    # decays; first call seeds at the report value -> congested
+    assert sender.congestion_decision({"R1": 0.5})
+    # zeros pull the EWMA down below threshold eventually
+    for _ in range(30):
+        congested = sender.congestion_decision({"R1": 0.0})
+    assert congested is False
+
+
+def test_ltrc_consumes_reports():
+    sender = _ltrc()
+    reports = {"R1": 0.5}
+    sender.congestion_decision(reports)
+    assert reports == {}
+
+
+def test_ltrc_no_reports_not_congested():
+    assert _ltrc().congestion_decision({}) is False
+
+
+def test_ltrc_validation():
+    with pytest.raises(ConfigurationError):
+        _ltrc(loss_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        _ltrc(ewma_gain=2.0)
+
+
+def test_mbfc_population_threshold():
+    sender = _mbfc(loss_threshold=0.02, population_threshold=0.5)
+    # 1 of 4 congested: 25% <= 50% -> not congested
+    assert sender.congestion_decision({"R1": 0.1, "R2": 0.0}) is False
+    # 3 of 4 congested: 75% > 50% -> congested
+    assert sender.congestion_decision(
+        {"R1": 0.1, "R2": 0.1, "R3": 0.1, "R4": 0.0}
+    ) is True
+
+
+def test_mbfc_zero_population_threshold_traces_slowest():
+    sender = _mbfc(loss_threshold=0.02, population_threshold=0.0)
+    assert sender.congestion_decision({"R1": 0.1}) is True
+    assert sender.congestion_decision({"R1": 0.01}) is False
+
+
+def test_mbfc_validation():
+    with pytest.raises(ConfigurationError):
+        _mbfc(loss_threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        _mbfc(population_threshold=1.0)

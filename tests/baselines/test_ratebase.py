@@ -1,0 +1,98 @@
+"""Rate-based baseline machinery: AIMD loop and loss reporting."""
+
+import pytest
+
+from repro.baselines.ratebase import LossReportReceiver, RateBasedMulticastSender
+from repro.errors import ConfigurationError
+from repro.net.addressing import group_address
+from repro.sim.engine import Simulator
+
+
+class _AlwaysCongested(RateBasedMulticastSender):
+    def congestion_decision(self, reports):
+        return True
+
+
+class _NeverCongested(RateBasedMulticastSender):
+    def congestion_decision(self, reports):
+        return False
+
+
+def _wire_session(sim, net, cls, receivers=("R1", "R2", "R3"), **kwargs):
+    group = group_address("mc")
+    net.join_group(group, "S", list(receivers))
+    sender = cls(sim, net.node("S"), "mc", group, receivers, **kwargs)
+    net.node("S").bind("mc", sender.on_packet)
+    sinks = []
+    for receiver in receivers:
+        sink = LossReportReceiver(sim, net.node(receiver), "mc", "S")
+        net.node(receiver).bind("mc", sink.on_packet)
+        sinks.append(sink)
+    return sender, sinks
+
+
+def test_linear_increase_without_congestion(sim, star_net):
+    sender, _ = _wire_session(sim, star_net, _NeverCongested,
+                              initial_rate_pps=10, increase_pps=10,
+                              adjust_interval=1.0)
+    sender.start()
+    sim.run(until=5.5)
+    # five adjustments of +10 each
+    assert sender.rate_pps == pytest.approx(60, abs=11)
+
+
+def test_multiplicative_decrease_with_backoff(sim, star_net):
+    sender, _ = _wire_session(sim, star_net, _AlwaysCongested,
+                              initial_rate_pps=80, adjust_interval=1.0,
+                              backoff_period=2.0, min_rate_pps=1.0)
+    sender.start()
+    sim.run(until=6.5)
+    # cuts allowed only every 2 s -> 3 cuts: 80 -> 40 -> 20 -> 10
+    assert sender.rate_cuts == 3
+    assert sender.rate_pps == pytest.approx(10)
+
+
+def test_rate_floor(sim, star_net):
+    sender, _ = _wire_session(sim, star_net, _AlwaysCongested,
+                              initial_rate_pps=4, adjust_interval=0.5,
+                              backoff_period=0.5, min_rate_pps=2.0)
+    sender.start()
+    sim.run(until=10.0)
+    assert sender.rate_pps >= 2.0
+
+
+def test_receivers_report_losses(sim, star_net):
+    sender, sinks = _wire_session(sim, star_net, _NeverCongested,
+                                  initial_rate_pps=400, increase_pps=0,
+                                  adjust_interval=1.0)
+    # 400 pkt/s into 200 pkt/s branches: heavy loss, reports ~0.5
+    sender.start()
+    sim.run(until=10.0)
+    assert sender.loss_reports
+    assert max(sender.loss_reports.values()) > 0.2
+
+
+def test_no_false_loss_reports_when_clean(sim, star_net):
+    sender, sinks = _wire_session(sim, star_net, _NeverCongested,
+                                  initial_rate_pps=50, increase_pps=0)
+    sender.start()
+    sim.run(until=10.0)
+    assert max(sender.loss_reports.values(), default=0.0) < 0.05
+
+
+def test_mean_rate(sim, star_net):
+    sender, _ = _wire_session(sim, star_net, _NeverCongested,
+                              initial_rate_pps=100, increase_pps=0)
+    sender.start()
+    sim.run(until=10.0)
+    assert sender.mean_rate(10.0) == pytest.approx(100, rel=0.05)
+
+
+def test_validation():
+    sim = Simulator()
+    from repro.net.node import Node
+    with pytest.raises(ConfigurationError):
+        _NeverCongested(sim, Node("S"), "f", "group:g", [])
+    with pytest.raises(ConfigurationError):
+        _NeverCongested(sim, Node("S"), "f", "group:g", ["R1"],
+                        initial_rate_pps=0)

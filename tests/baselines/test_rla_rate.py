@@ -1,0 +1,68 @@
+"""Random listening on a rate-based controller (§6 future work)."""
+
+import random
+
+import pytest
+
+from repro.baselines.rla_rate import RandomListeningRateSender
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+
+def _sender(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    sender = RandomListeningRateSender(
+        sim, Node("S"), "f", "group:g", ["R1", "R2", "R3", "R4"],
+        rng=random.Random(seed), **kwargs,
+    )
+    return sim, sender
+
+
+def test_no_signals_no_congestion():
+    _, sender = _sender()
+    assert sender.congestion_decision({"R1": 0.0}) is False
+    assert sender.congestion_signals == 0
+
+
+def test_signals_counted_and_reports_consumed():
+    _, sender = _sender()
+    reports = {"R1": 0.1, "R2": 0.2, "R3": 0.0}
+    sender.congestion_decision(reports)
+    assert sender.congestion_signals == 2
+    assert reports == {}
+
+
+def test_single_troubled_receiver_always_cuts():
+    _, sender = _sender()
+    # one signal, num_trouble = 1 -> pthresh = 1 -> certain True
+    assert sender.congestion_decision({"R1": 0.1}) is True
+
+
+def test_trouble_window_expiry():
+    sim, sender = _sender(trouble_window=5.0)
+    sender.congestion_decision({"R1": 0.1, "R2": 0.1})
+    assert sender.num_trouble == 2
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert sender.num_trouble == 0
+
+
+def test_average_cut_rate_is_one_over_n():
+    _, sender = _sender(seed=5, trouble_window=1e9)
+    # prime four troubled receivers
+    sender.congestion_decision({f"R{i}": 0.1 for i in range(1, 5)})
+    cuts = 0
+    trials = 2000
+    for _ in range(trials):
+        if sender.congestion_decision({"R1": 0.1}):
+            cuts += 1
+    # per signal the cut chance is 1/4
+    assert cuts / trials == pytest.approx(0.25, abs=0.05)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        _sender(loss_signal_threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        _sender(trouble_window=0.0)

@@ -1,0 +1,30 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["fig7", "--duration", "30", "--cases", "1", "3"])
+    assert args.figure == "fig7"
+    assert args.duration == 30.0
+    assert args.cases == [1, 3]
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig4_runs(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "drift field" in out
+
+
+def test_fig5_runs(capsys):
+    assert main(["fig5", "--steps", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "mean cwnds" in out

@@ -1,0 +1,18 @@
+"""CLI: the sweep subcommand."""
+
+from repro.cli import build_parser, main
+
+
+def test_sweep_args_parsed():
+    args = build_parser().parse_args(["sweep", "--counts", "2", "3",
+                                      "--duration", "8", "--warmup", "4"])
+    assert args.figure == "sweep"
+    assert args.counts == [2, 3]
+
+
+def test_sweep_runs(capsys):
+    assert main(["sweep", "--counts", "2", "--duration", "6",
+                 "--warmup", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ratio" in out
+    assert "yes" in out or "NO" in out

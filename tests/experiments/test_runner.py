@@ -1,0 +1,85 @@
+"""The tree-experiment runner (short smoke runs shared by several tests)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    TreeExperimentResult,
+    TreeExperimentSpec,
+    run_tree_experiment,
+)
+from repro.topology.cases import TREE_CASES
+from repro.units import transmission_time, pps_to_bps
+
+
+@pytest.fixture(scope="module")
+def case5_result():
+    """One short case-5 run reused by all assertions in this module."""
+    spec = TreeExperimentSpec(case=TREE_CASES[5], duration=8.0, warmup=4.0,
+                              seed=3)
+    return run_tree_experiment(spec)
+
+
+def test_result_shape(case5_result):
+    result = case5_result
+    assert isinstance(result, TreeExperimentResult)
+    assert len(result.tcp) == 27
+    assert len(result.rla) == 1
+    assert len(result.receivers) == 27
+
+
+def test_traffic_flows(case5_result):
+    rla = case5_result.rla[0]
+    assert rla["packets_sent"] > 0
+    assert all(rep["packets_sent"] > 0 for rep in case5_result.tcp.values())
+
+
+def test_tiers_match_case5(case5_result):
+    assert len(case5_result.tiers["more"]) == 9
+    assert len(case5_result.tiers["less"]) == 18
+
+
+def test_wtcp_btcp_ordering(case5_result):
+    assert (case5_result.wtcp["throughput_pps"]
+            <= case5_result.btcp["throughput_pps"])
+
+
+def test_tier_accessors(case5_result):
+    more_cuts = case5_result.tcp_cuts_by_tier("more")
+    assert len(more_cuts) == 9
+    signals = case5_result.rla_signals_by_tier("more")
+    assert len(signals) == 9
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        TreeExperimentSpec(case=TREE_CASES[1], gateway="fifo").validate()
+    with pytest.raises(ConfigurationError):
+        TreeExperimentSpec(case=TREE_CASES[1], duration=0).validate()
+    with pytest.raises(ConfigurationError):
+        TreeExperimentSpec(case=TREE_CASES[1], rla_sessions=0).validate()
+    with pytest.raises(ConfigurationError):
+        TreeExperimentSpec(case=TREE_CASES[1], tcp_per_receiver=-1).validate()
+
+
+def test_jitter_resolution():
+    spec = TreeExperimentSpec(case=TREE_CASES[3])
+    bottleneck = pps_to_bps(200)
+    assert spec.resolved_jitter(bottleneck) == pytest.approx(
+        transmission_time(1000, bottleneck)
+    )
+    red_spec = TreeExperimentSpec(case=TREE_CASES[3], gateway="red")
+    assert red_spec.resolved_jitter(bottleneck) is None
+    explicit = TreeExperimentSpec(case=TREE_CASES[3], phase_jitter=0.001)
+    assert explicit.resolved_jitter(bottleneck) == 0.001
+    off = TreeExperimentSpec(case=TREE_CASES[3], phase_jitter=None)
+    assert off.resolved_jitter(bottleneck) is None
+
+
+def test_generalized_resolution():
+    from repro.topology.cases import RTT_CASES
+
+    assert not TreeExperimentSpec(case=TREE_CASES[3]).resolved_generalized()
+    assert TreeExperimentSpec(case=RTT_CASES[1]).resolved_generalized()
+    forced = TreeExperimentSpec(case=TREE_CASES[3], generalized=True)
+    assert forced.resolved_generalized()

@@ -1,0 +1,55 @@
+"""Parameter-sweep harness (short smoke runs)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    format_sweep,
+    sweep_buffer_size,
+    sweep_receiver_count,
+    sweep_share,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return sweep_receiver_count(counts=(2, 3), duration=10.0, warmup=5.0,
+                                seed=2)
+
+
+def test_sweep_rows_have_expected_keys(tiny_sweep):
+    for row in tiny_sweep:
+        for key in ("n_receivers", "rla_pps", "wtcp_pps", "ratio", "fair",
+                    "lower", "upper", "num_trouble"):
+            assert key in row
+
+
+def test_sweep_counts_match(tiny_sweep):
+    assert [row["n_receivers"] for row in tiny_sweep] == [2, 3]
+
+
+def test_sweep_bounds_widen_with_n(tiny_sweep):
+    assert tiny_sweep[0]["upper"] <= tiny_sweep[1]["upper"]
+
+
+def test_sweep_traffic_flows(tiny_sweep):
+    for row in tiny_sweep:
+        assert row["rla_pps"] > 0
+        assert row["wtcp_pps"] > 0
+
+
+def test_buffer_sweep_smoke():
+    rows = sweep_buffer_size(buffers=(10, 20), n_receivers=2, duration=8.0,
+                             warmup=4.0, seed=2)
+    assert [row["buffer_pkts"] for row in rows] == [10, 20]
+
+
+def test_share_sweep_smoke():
+    rows = sweep_share(shares=(100.0,), n_receivers=2, duration=8.0,
+                       warmup=4.0, seed=2)
+    assert rows[0]["share_pps"] == 100.0
+
+
+def test_format_sweep(tiny_sweep):
+    text = format_sweep(tiny_sweep, "n_receivers")
+    assert "ratio" in text
+    assert len(text.splitlines()) == 3

@@ -1,0 +1,79 @@
+"""Fairness definitions and theorem bounds (§2, §4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import fairness as fm
+
+
+def test_soft_bottleneck_picks_min_share():
+    # shares: 100/2=50, 300/4=75, 60/1=60 -> branch 0
+    assert fm.soft_bottleneck([100, 300, 60], [1, 3, 0]) == 0
+    assert fm.soft_bottleneck_share([100, 300, 60], [1, 3, 0]) == 50
+
+
+def test_soft_bottleneck_zero_tcp():
+    assert fm.soft_bottleneck([100], [0]) == 0
+    assert fm.soft_bottleneck_share([100], [0]) == 100
+
+
+def test_soft_bottleneck_validation():
+    with pytest.raises(ConfigurationError):
+        fm.soft_bottleneck([], [])
+    with pytest.raises(ConfigurationError):
+        fm.soft_bottleneck([1.0], [1, 2])
+
+
+def test_theorem1_bounds():
+    a, b = fm.essential_fairness_bounds(27, fm.RED)
+    assert a == pytest.approx(1 / 3)
+    assert b == pytest.approx(math.sqrt(81))
+
+
+def test_theorem2_bounds():
+    a, b = fm.essential_fairness_bounds(27, fm.DROPTAIL)
+    assert a == 0.25
+    assert b == 54
+
+
+def test_bounds_validation():
+    with pytest.raises(ConfigurationError):
+        fm.essential_fairness_bounds(0, fm.RED)
+    with pytest.raises(ConfigurationError):
+        fm.essential_fairness_bounds(5, "fifo")
+
+
+def test_window_ratio_bounds_eq4():
+    lower, upper = fm.window_ratio_bounds(3)
+    assert lower == pytest.approx(2 / 3)
+    assert upper == pytest.approx(3.0)
+
+
+def test_rtt_ratio_bounds_eq5():
+    assert fm.rtt_ratio_bounds() == (1.0, 2.0)
+
+
+def test_check_essential_fairness_inside():
+    verdict = fm.check_essential_fairness(120, 100, 27, fm.DROPTAIL)
+    assert verdict.fair
+    assert verdict.ratio == pytest.approx(1.2)
+    assert "ESSENTIALLY FAIR" in str(verdict)
+
+
+def test_check_essential_fairness_outside():
+    verdict = fm.check_essential_fairness(10, 100, 27, fm.RED)
+    assert not verdict.fair
+    assert "OUT OF BOUNDS" in str(verdict)
+
+
+def test_check_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        fm.check_essential_fairness(0, 100, 27, fm.RED)
+
+
+def test_absolute_fairness_special_case():
+    # a = b = 1: throughput at the soft-bottleneck share
+    assert fm.is_absolutely_fair(100, [200, 400], [1, 1], tolerance=0.05)
+    assert not fm.is_absolutely_fair(150, [200, 400], [1, 1], tolerance=0.05)

@@ -1,0 +1,106 @@
+"""The §4.4 two-session particle model (figures 3-5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.particle import ParticleModel, binomial_pmf
+
+
+def test_binomial_pmf_sums_to_one():
+    pmf = binomial_pmf(10, 0.3)
+    assert sum(pmf) == pytest.approx(1.0)
+    assert len(pmf) == 11
+
+
+def test_binomial_pmf_validation():
+    with pytest.raises(ConfigurationError):
+        binomial_pmf(-1, 0.5)
+    with pytest.raises(ConfigurationError):
+        binomial_pmf(3, 1.5)
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        ParticleModel(n=0, pipes=[(10.0, 0)])
+    with pytest.raises(ConfigurationError):
+        ParticleModel(n=3, pipes=[])
+    with pytest.raises(ConfigurationError):
+        ParticleModel(n=3, pipes=[(10.0, 2)])  # counts != n
+
+
+def test_signals_per_region():
+    model = ParticleModel(n=3, pipes=[(10.0, 1), (20.0, 2)])
+    assert model.signals(5.0) == 0
+    assert model.signals(15.0) == 1
+    assert model.signals(25.0) == 3
+
+
+def test_drift_positive_when_uncongested():
+    model = ParticleModel.uniform(3, 10.0)
+    assert model.drift(2.0, 4.0) == pytest.approx(2.0)
+
+
+def test_drift_negative_deep_in_congestion():
+    model = ParticleModel.uniform(3, 10.0)
+    # large window far beyond the pipe: cuts dominate
+    assert model.drift(20.0, 40.0) < 0
+
+
+def test_drift_matches_paper_formula():
+    """2 p0 - sum_i w (1 - 2^-i) p_i with p_i = Binomial(n, 1/n)."""
+    model = ParticleModel.uniform(3, 10.0)
+    pmf = binomial_pmf(3, 1 / 3)
+    w, total = 6.0, 12.0
+    expected = 2 * pmf[0] - sum(
+        w * (1 - 2.0 ** (-i)) * pmf[i] for i in range(1, 4)
+    )
+    assert model.drift(w, total) == pytest.approx(expected)
+
+
+def test_drift_field_shapes():
+    model = ParticleModel.uniform(3, 10.0)
+    gx, gy, u, v = model.drift_field(w_max=12.0, step=2.0)
+    assert gx.shape == gy.shape == u.shape == v.shape
+    # symmetry: drift is exchangeable in the two windows
+    assert u[0, 3] == pytest.approx(v[3, 0])
+
+
+def test_operating_point():
+    assert ParticleModel.uniform(3, 10.0).operating_point() == (5.0, 5.0)
+
+
+def test_simulation_symmetric_means():
+    model = ParticleModel.uniform(3, 10.0)
+    trace = model.simulate(steps=50_000, seed=2)
+    assert trace.mean_w1 == pytest.approx(trace.mean_w2, rel=0.1)
+
+
+def test_simulation_mass_concentrates_near_fair_point():
+    """Figure 5: most probability mass sits around (pipe/2, pipe/2)."""
+    model = ParticleModel.uniform(27, 40.0)
+    trace = model.simulate(steps=50_000, seed=3)
+    assert trace.mass_within(15.0) > 0.5
+    assert trace.mean_w1 == pytest.approx(20.0, rel=0.5)
+
+
+def test_density_grid():
+    model = ParticleModel.uniform(3, 10.0)
+    trace = model.simulate(steps=5_000, seed=1)
+    grid = model.simulate(steps=5_000, seed=1).density(w_max=30)
+    assert grid.sum() == pytest.approx(
+        sum(count for cell, count in trace.counts.items()
+            if max(cell) <= 30), rel=0.01
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 20), pipe=st.floats(5.0, 60.0))
+def test_property_simulation_stays_positive(n, pipe):
+    trace = ParticleModel.uniform(n, pipe).simulate(steps=2_000, seed=7)
+    assert all(w1 >= 1 and w2 >= 1 for w1, w2 in trace.counts)
+
+
+def test_simulate_validation():
+    with pytest.raises(ConfigurationError):
+        ParticleModel.uniform(3, 10.0).simulate(steps=0)

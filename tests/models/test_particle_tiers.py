@@ -1,0 +1,58 @@
+"""Multi-tier pipe configurations of the §4.4 particle model.
+
+The paper's general model orders pipe sizes pipe_1 < pipe_2 < ... with
+n_i receivers behind each; crossing each boundary adds that tier's
+signals.  These tests pin the multi-tier behaviour the single-tier
+figure-4/5 setting doesn't exercise.
+"""
+
+import pytest
+
+from repro.models.particle import ParticleModel
+
+
+@pytest.fixture
+def tiered():
+    # 1 receiver behind pipe 10, 2 behind pipe 20, 3 behind pipe 30
+    return ParticleModel(n=6, pipes=[(10.0, 1), (20.0, 2), (30.0, 3)])
+
+
+def test_signals_accumulate_across_tiers(tiered):
+    assert tiered.signals(5.0) == 0
+    assert tiered.signals(10.0) == 0      # boundary: not yet exceeded
+    assert tiered.signals(10.5) == 1
+    assert tiered.signals(25.0) == 3
+    assert tiered.signals(35.0) == 6
+
+
+def test_drift_monotone_in_congestion_depth(tiered):
+    """Deeper congestion pulls a given window down harder."""
+    shallow = tiered.drift(8.0, 15.0)   # one tier exceeded
+    deep = tiered.drift(8.0, 35.0)      # all tiers exceeded
+    assert deep < shallow
+
+
+def test_operating_point_uses_smallest_pipe(tiered):
+    assert tiered.operating_point() == (5.0, 5.0)
+
+
+def test_cut_pmf_matches_signals(tiered):
+    pmf = tiered.cut_pmf(tiered.signals(35.0))
+    assert len(pmf) == 7  # 6 signals -> outcomes 0..6
+    assert sum(pmf) == pytest.approx(1.0)
+
+
+def test_simulation_respects_first_boundary(tiered):
+    trace = tiered.simulate(steps=20_000, seed=11)
+    # window sums spend most time near or below the first congested tier;
+    # excursions above the last pipe are rare because six signals with
+    # listening probability 1/6 almost surely cut someone.
+    heavy = sum(count for (w1, w2), count in trace.counts.items()
+                if w1 + w2 > 30.0)
+    assert heavy / trace.steps < 0.2
+
+
+def test_unsorted_tier_input_is_sorted():
+    model = ParticleModel(n=3, pipes=[(30.0, 2), (10.0, 1)])
+    assert model.operating_point() == (5.0, 5.0)
+    assert model.signals(15.0) == 1

@@ -1,0 +1,64 @@
+"""Equation 1 and related TCP formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models import tcp_formula as tf
+
+
+def test_pa_window_known_value():
+    # p = 0.02 -> sqrt(2 * 0.98 / 0.02) = sqrt(98) ~= 9.899
+    assert tf.pa_window(0.02) == pytest.approx(math.sqrt(98))
+
+
+def test_simplified_close_for_small_p():
+    p = 0.001
+    assert tf.pa_window(p) == pytest.approx(tf.pa_window_simplified(p), rel=0.01)
+
+
+def test_mahdavi_floyd():
+    assert tf.mahdavi_floyd_bandwidth(0.1, 0.01) == pytest.approx(130.0)
+
+
+def test_throughput_is_window_over_rtt():
+    assert tf.tcp_throughput(0.2, 0.02) == pytest.approx(tf.pa_window(0.02) / 0.2)
+
+
+def test_inverse_roundtrip():
+    for p in (0.001, 0.01, 0.04):
+        w = tf.pa_window(p)
+        assert tf.congestion_probability_for_window(w) == pytest.approx(p)
+
+
+def test_drift_zero_at_pa_window():
+    p = 0.01
+    w = tf.pa_window(p)
+    assert tf.drift(w, p) == pytest.approx(0.0, abs=1e-12)
+    assert tf.drift(w * 0.5, p) > 0
+    assert tf.drift(w * 2.0, p) < 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=1e-5, max_value=0.05))
+def test_property_window_decreases_with_p(p):
+    assert tf.pa_window(p) > tf.pa_window(min(p * 2, 0.2))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        tf.pa_window(0.0)
+    with pytest.raises(ConfigurationError):
+        tf.pa_window(1.0)
+    with pytest.raises(ConfigurationError):
+        tf.mahdavi_floyd_bandwidth(0.0, 0.01)
+    with pytest.raises(ConfigurationError):
+        tf.congestion_probability_for_window(-1)
+    with pytest.raises(ConfigurationError):
+        tf.drift(0.0, 0.01)
+
+
+def test_moderate_congestion_limit():
+    assert tf.MODERATE_CONGESTION_LIMIT == 0.05

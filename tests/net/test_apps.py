@@ -1,0 +1,64 @@
+"""CBR source and packet sink."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.apps import CbrSource, PacketSink
+from repro.net.packet import DATA
+from repro.units import pps_to_bps, ms
+from repro.net.network import Network, droptail_factory
+from repro.sim.engine import Simulator
+
+
+def test_cbr_rate(sim, two_node_net):
+    net = two_node_net
+    sink = PacketSink(net.node("B"), "cbr-0")
+    source = CbrSource(sim, net.node("A"), "cbr-0", "B", rate_pps=50)
+    source.start()
+    sim.run(until=10.0)
+    # 50 pkt/s for ~10 s over a 200 pkt/s link: all delivered
+    assert sink.received == pytest.approx(500, abs=2)
+
+
+def test_cbr_overdrive_is_capped_by_link(sim, two_node_net):
+    net = two_node_net
+    sink = PacketSink(net.node("B"), "cbr-0")
+    source = CbrSource(sim, net.node("A"), "cbr-0", "B", rate_pps=1000)
+    source.start()
+    sim.run(until=5.0)
+    assert sink.received <= 200 * 5 + 21  # capacity + buffer flush
+
+
+def test_cbr_stop(sim, two_node_net):
+    net = two_node_net
+    sink = PacketSink(net.node("B"), "cbr-0")
+    source = CbrSource(sim, net.node("A"), "cbr-0", "B", rate_pps=100)
+    source.start()
+    sim.schedule(1.0, source.stop)
+    sim.run(until=10.0)
+    assert sink.received == pytest.approx(100, abs=2)
+
+
+def test_cbr_set_rate(sim, two_node_net):
+    net = two_node_net
+    sink = PacketSink(net.node("B"), "cbr-0")
+    source = CbrSource(sim, net.node("A"), "cbr-0", "B", rate_pps=10)
+    source.start()
+    sim.schedule(5.0, lambda: source.set_rate(100))
+    sim.run(until=10.0)
+    assert 50 + 450 <= sink.received <= 50 + 510
+
+
+def test_cbr_rejects_bad_rate(sim, two_node_net):
+    with pytest.raises(ConfigurationError):
+        CbrSource(sim, two_node_net.node("A"), "x", "B", rate_pps=0)
+
+
+def test_sink_records_when_asked(sim, two_node_net):
+    net = two_node_net
+    sink = PacketSink(net.node("B"), "cbr-0", record=True)
+    source = CbrSource(sim, net.node("A"), "cbr-0", "B", rate_pps=10)
+    source.start()
+    sim.run(until=1.0)
+    assert sink.arrivals == list(range(sink.received))
+    assert sink.bytes == sink.received * 1000

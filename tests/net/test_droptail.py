@@ -1,0 +1,81 @@
+"""Drop-tail gateway: FIFO order, capacity enforcement, hooks."""
+
+import pytest
+
+from repro.net.droptail import DropTailQueue
+from repro.net.packet import DATA, Packet
+
+
+def _pkt(seq, flow="f"):
+    return Packet(DATA, flow, "A", "B", seq, 1000)
+
+
+def test_fifo_order():
+    queue = DropTailQueue(5)
+    for seq in range(3):
+        assert queue.enqueue(0.0, _pkt(seq))
+    assert [queue.dequeue(0.0).seq for _ in range(3)] == [0, 1, 2]
+
+
+def test_dequeue_empty_returns_none():
+    queue = DropTailQueue(5)
+    assert queue.dequeue(0.0) is None
+
+
+def test_drops_when_full():
+    queue = DropTailQueue(2)
+    assert queue.enqueue(0.0, _pkt(0))
+    assert queue.enqueue(0.0, _pkt(1))
+    assert not queue.enqueue(0.0, _pkt(2))
+    assert queue.dropped == 1
+    assert len(queue) == 2
+
+
+def test_space_frees_after_dequeue():
+    queue = DropTailQueue(1)
+    queue.enqueue(0.0, _pkt(0))
+    assert not queue.enqueue(0.0, _pkt(1))
+    queue.dequeue(0.0)
+    assert queue.enqueue(0.0, _pkt(2))
+
+
+def test_byte_accounting():
+    queue = DropTailQueue(5)
+    queue.enqueue(0.0, _pkt(0))
+    queue.enqueue(0.0, _pkt(1))
+    assert queue.bytes_queued == 2000
+    queue.dequeue(0.0)
+    assert queue.bytes_queued == 1000
+
+
+def test_drop_hook_reports_reason():
+    queue = DropTailQueue(1)
+    drops = []
+    queue.on_drop(lambda now, pkt, reason: drops.append((pkt.seq, reason)))
+    queue.enqueue(0.0, _pkt(0))
+    queue.enqueue(1.0, _pkt(1))
+    assert drops == [(1, "overflow")]
+
+
+def test_enqueue_hook_sees_depth():
+    queue = DropTailQueue(5)
+    depths = []
+    queue.on_enqueue(lambda now, pkt, depth: depths.append(depth))
+    queue.enqueue(0.0, _pkt(0))
+    queue.enqueue(0.0, _pkt(1))
+    assert depths == [1, 2]
+
+
+def test_counters():
+    queue = DropTailQueue(2)
+    for seq in range(4):
+        queue.enqueue(0.0, _pkt(seq))
+    queue.dequeue(0.0)
+    assert queue.enqueued == 2
+    assert queue.dropped == 2
+    assert queue.dequeued == 1
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        DropTailQueue(0)

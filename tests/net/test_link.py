@@ -1,0 +1,101 @@
+"""Link timing: serialization, propagation, queue interaction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.droptail import DropTailQueue
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import DATA, Packet
+from repro.sim.engine import Simulator
+from repro.units import pps_to_bps
+
+
+class _Catcher(Node):
+    """Node that records packet arrival times."""
+
+    def __init__(self, node_id, sim):
+        super().__init__(node_id)
+        self.sim = sim
+        self.times = []
+
+    def receive(self, packet):
+        self.times.append((self.sim.now, packet.seq))
+
+
+def _link(sim, rate_pps=200, delay=0.1, capacity=20):
+    src = Node("A")
+    dst = _Catcher("B", sim)
+    link = Link(sim, "A->B", src, dst, pps_to_bps(rate_pps), delay,
+                DropTailQueue(capacity))
+    return link, dst
+
+
+def test_single_packet_timing():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.1)
+    link.send(Packet(DATA, "f", "A", "B", 0, 1000))
+    sim.run()
+    # 5 ms serialization + 100 ms propagation
+    assert dst.times == [(pytest.approx(0.105), 0)]
+
+
+def test_back_to_back_packets_are_serialized():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.0)
+    for seq in range(3):
+        link.send(Packet(DATA, "f", "A", "B", seq, 1000))
+    sim.run()
+    times = [t for t, _ in dst.times]
+    assert times == pytest.approx([0.005, 0.010, 0.015])
+
+
+def test_throughput_never_exceeds_capacity():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.0, capacity=1000)
+    for seq in range(500):
+        link.send(Packet(DATA, "f", "A", "B", seq, 1000))
+    sim.run(until=1.0)
+    assert len(dst.times) <= 200 + 1
+
+
+def test_drops_when_queue_overflows():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.0, capacity=5)
+    for seq in range(20):
+        link.send(Packet(DATA, "f", "A", "B", seq, 1000))
+    sim.run()
+    # 1 in service + 5 queued survive the burst
+    assert len(dst.times) == 6
+    assert link.gateway.dropped == 14
+
+
+def test_small_packets_serialize_faster():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.0)
+    link.send(Packet(DATA, "f", "A", "B", 0, 40))  # an ACK
+    sim.run()
+    assert dst.times[0][0] == pytest.approx(0.005 * 40 / 1000)
+
+
+def test_utilization():
+    sim = Simulator()
+    link, dst = _link(sim, rate_pps=200, delay=0.0, capacity=1000)
+    for seq in range(100):
+        link.send(Packet(DATA, "f", "A", "B", seq, 1000))
+    sim.run(until=1.0)
+    assert link.utilization(1.0) == pytest.approx(0.5, rel=0.05)
+
+
+def test_mean_pkt_time_installed_on_gateway():
+    sim = Simulator()
+    link, _ = _link(sim, rate_pps=200)
+    assert link.gateway.mean_pkt_time == pytest.approx(0.005)
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", Node("A"), Node("B"), 0.0, 0.1, DropTailQueue(5))
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", Node("A"), Node("B"), 1e6, -1.0, DropTailQueue(5))

@@ -1,0 +1,56 @@
+"""Queue monitors: drop accounting and occupancy statistics."""
+
+import pytest
+
+from repro.net.droptail import DropTailQueue
+from repro.net.monitor import QueueMonitor
+from repro.net.packet import DATA, Packet
+from repro.sim.engine import Simulator
+
+
+def _pkt(seq, flow="f"):
+    return Packet(DATA, flow, "A", "B", seq, 1000)
+
+
+def test_counts_drops_per_flow():
+    sim = Simulator()
+    queue = DropTailQueue(2)
+    monitor = QueueMonitor(sim, queue)
+    queue.enqueue(0.0, _pkt(0, "a"))
+    queue.enqueue(0.0, _pkt(1, "b"))
+    queue.enqueue(0.0, _pkt(2, "a"))  # dropped
+    assert monitor.drops_by_flow["a"] == 1
+    assert monitor.total_drops == 1
+
+
+def test_drop_log_optional():
+    sim = Simulator()
+    queue = DropTailQueue(1)
+    monitor = QueueMonitor(sim, queue, log_drops=True)
+    queue.enqueue(0.0, _pkt(0))
+    queue.enqueue(0.0, _pkt(1))
+    assert monitor.drop_log == [(0.0, "f", 1, "overflow")]
+
+
+def test_loss_rate():
+    sim = Simulator()
+    queue = DropTailQueue(2)
+    monitor = QueueMonitor(sim, queue)
+    for seq in range(4):
+        queue.enqueue(0.0, _pkt(seq))
+    assert monitor.loss_rate() == pytest.approx(0.5)
+    assert monitor.loss_rate("f") == pytest.approx(0.5)
+    assert monitor.loss_rate("other") == 0.0
+
+
+def test_mean_depth_time_weighted():
+    sim = Simulator()
+    queue = DropTailQueue(10)
+    monitor = QueueMonitor(sim, queue)
+    queue.enqueue(0.0, _pkt(0))  # depth 1 from t=0
+    sim.schedule(10.0, lambda: queue.enqueue(sim.now, _pkt(1)))
+    sim.run()
+    monitor.finish()
+    # depth was 1 for 10 s then 2 for 0 s
+    assert monitor.mean_depth() == pytest.approx(1.0, rel=0.01)
+    assert monitor.max_depth == 2

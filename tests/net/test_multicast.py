@@ -1,0 +1,60 @@
+"""Multicast tree construction."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.multicast import shortest_path_tree, tree_edges
+
+
+def _graph():
+    graph = nx.Graph()
+    graph.add_edge("S", "G1", delay=1.0)
+    graph.add_edge("G1", "G2", delay=1.0)
+    graph.add_edge("G1", "G3", delay=1.0)
+    graph.add_edge("G2", "R1", delay=1.0)
+    graph.add_edge("G2", "R2", delay=1.0)
+    graph.add_edge("G3", "R3", delay=1.0)
+    return graph
+
+
+def test_tree_covers_all_members():
+    children = shortest_path_tree(_graph(), "S", ["R1", "R2", "R3"])
+    edges = set(tree_edges(children))
+    assert ("S", "G1") in edges
+    assert ("G2", "R1") in edges and ("G2", "R2") in edges
+    assert ("G3", "R3") in edges
+    # shared trunk appears once
+    assert len([e for e in edges if e == ("S", "G1")]) == 1
+
+
+def test_member_equal_to_source_is_skipped():
+    children = shortest_path_tree(_graph(), "S", ["S", "R1"])
+    assert ("S", "G1") in tree_edges(children)
+
+
+def test_interior_member_included():
+    children = shortest_path_tree(_graph(), "S", ["G2", "R1"])
+    edges = set(tree_edges(children))
+    assert ("G1", "G2") in edges and ("G2", "R1") in edges
+
+
+def test_empty_members_rejected():
+    with pytest.raises(TopologyError):
+        shortest_path_tree(_graph(), "S", [])
+
+
+def test_unreachable_member_rejected():
+    graph = _graph()
+    graph.add_node("island")
+    with pytest.raises(TopologyError):
+        shortest_path_tree(graph, "S", ["island"])
+
+
+def test_weights_respected():
+    graph = nx.Graph()
+    graph.add_edge("S", "A", delay=1.0)
+    graph.add_edge("A", "R", delay=1.0)
+    graph.add_edge("S", "R", delay=10.0)
+    children = shortest_path_tree(graph, "S", ["R"])
+    assert children == {"S": ["A"], "A": ["R"]}

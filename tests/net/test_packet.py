@@ -1,0 +1,47 @@
+"""Packet objects and addressing helpers."""
+
+from repro.net.addressing import flow_id, group_address, is_multicast
+from repro.net.packet import ACK, DATA, Packet
+
+
+def test_uids_are_unique():
+    a = Packet(DATA, "f", "A", "B", 0, 1000)
+    b = Packet(DATA, "f", "A", "B", 0, 1000)
+    assert a.uid != b.uid
+
+
+def test_copy_preserves_fields_but_not_uid():
+    original = Packet(DATA, "f", "A", "group:g", 7, 1000,
+                      sent_time=1.5, is_retransmit=True)
+    original.hops = 3
+    clone = original.copy()
+    assert clone.uid != original.uid
+    assert clone.seq == 7
+    assert clone.dst == "group:g"
+    assert clone.sent_time == 1.5
+    assert clone.is_retransmit
+    assert clone.hops == 3
+
+
+def test_ack_fields():
+    ack = Packet(ACK, "f", "B", "A", 7, 40, ack=8, sack=((10, 12),),
+                 receiver="B", echo_ts=2.0)
+    assert ack.ack == 8
+    assert ack.sack == ((10, 12),)
+    assert ack.receiver == "B"
+    assert "ack=8" in repr(ack)
+
+
+def test_group_address_idempotent():
+    assert group_address("rla-0") == "group:rla-0"
+    assert group_address("group:rla-0") == "group:rla-0"
+
+
+def test_is_multicast():
+    assert is_multicast("group:x")
+    assert not is_multicast("R1")
+
+
+def test_flow_id():
+    assert flow_id("tcp", 3) == "tcp-3"
+    assert flow_id("rla", "a.b") == "rla-a.b"

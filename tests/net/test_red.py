@@ -1,0 +1,96 @@
+"""RED gateway: threshold behaviour, average tracking, drop accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import DATA, Packet
+from repro.net.red import REDQueue
+
+
+def _pkt(seq):
+    return Packet(DATA, "f", "A", "B", seq, 1000)
+
+
+def _fill(queue, count, now=0.0):
+    accepted = 0
+    for seq in range(count):
+        if queue.enqueue(now, _pkt(seq)):
+            accepted += 1
+    return accepted
+
+
+def test_no_drops_below_min_threshold():
+    queue = REDQueue(capacity=20, min_th=5, max_th=15, rng=random.Random(1))
+    # With w_q = 0.002 the average stays near zero for a short burst of 4.
+    assert _fill(queue, 4) == 4
+    assert queue.dropped == 0
+
+
+def test_forced_drops_when_average_beyond_max():
+    queue = REDQueue(capacity=100, min_th=2, max_th=4, w_q=1.0,
+                     rng=random.Random(1))
+    # w_q = 1 makes the average track the instantaneous queue exactly.
+    _fill(queue, 30)
+    assert queue.forced_drops > 0
+    # once avg >= max_th every arrival is dropped
+    depth = len(queue)
+    assert not queue.enqueue(0.0, _pkt(99))
+    assert len(queue) == depth
+
+
+def test_overflow_drops_when_buffer_full():
+    queue = REDQueue(capacity=5, min_th=100, max_th=200, rng=random.Random(1))
+    # thresholds high: only physical overflow can drop
+    _fill(queue, 10)
+    assert queue.overflow_drops == 5
+    assert queue.early_drops == 0
+
+
+def test_early_drop_probability_increases_with_average():
+    rng = random.Random(7)
+    queue = REDQueue(capacity=1000, min_th=5, max_th=15, w_q=1.0, max_p=0.1,
+                     rng=rng)
+    _fill(queue, 400)
+    assert queue.early_drops > 0
+
+
+def test_average_ages_during_idle():
+    queue = REDQueue(capacity=20, min_th=5, max_th=15, w_q=1.0,
+                     rng=random.Random(1))
+    queue.mean_pkt_time = 0.005
+    _fill(queue, 10)
+    while queue.dequeue(1.0) is not None:
+        pass
+    avg_before = queue.avg
+    queue.enqueue(10.0, _pkt(50))  # 9 seconds idle -> 1800 packet times
+    assert queue.avg < avg_before * 0.01
+
+
+def test_count_resets_below_min():
+    queue = REDQueue(capacity=20, min_th=5, max_th=15, w_q=1.0,
+                     rng=random.Random(1))
+    _fill(queue, 3)
+    assert queue.count == -1
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        REDQueue(min_th=10, max_th=5)
+    with pytest.raises(ValueError):
+        REDQueue(w_q=0.0)
+    with pytest.raises(ValueError):
+        REDQueue(max_p=1.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), arrivals=st.integers(1, 200))
+def test_property_accounting_conserved(seed, arrivals):
+    """accepted + dropped == offered, and depth never exceeds capacity."""
+    queue = REDQueue(capacity=20, rng=random.Random(seed))
+    accepted = _fill(queue, arrivals)
+    assert accepted + queue.dropped == arrivals
+    assert len(queue) <= queue.capacity
+    assert queue.dropped == (queue.early_drops + queue.forced_drops
+                             + queue.overflow_drops)

@@ -1,0 +1,40 @@
+"""RLA configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rla.config import RLAConfig
+
+
+def test_defaults_follow_paper():
+    config = RLAConfig().validate()
+    assert config.eta == 20.0
+    assert config.congestion_group_rtts == 2.0
+    assert config.forced_cut_awnd_rtts == 2.0
+    assert config.rexmit_thresh == 0
+    assert config.rtt_scaled_pthresh is False
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"packet_size": 0},
+        {"eta": 0.5},
+        {"interval_gain": 0.0},
+        {"interval_gain": 1.5},
+        {"awnd_gain": 0.0},
+        {"congestion_group_rtts": 0.0},
+        {"rexmit_thresh": -1},
+        {"rcv_buffer": 0},
+        {"phase_jitter": -0.1},
+        {"ack_jitter": -0.1},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        RLAConfig(**kwargs).validate()
+
+
+def test_validate_returns_self():
+    config = RLAConfig()
+    assert config.validate() is config

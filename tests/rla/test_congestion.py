@@ -1,0 +1,84 @@
+"""Troubled-receiver counting (§3.3 rule 6)."""
+
+import pytest
+
+from repro.rla.congestion import TroubleTracker
+from repro.rla.state import ReceiverState
+
+
+def _states(n):
+    states = [ReceiverState(f"R{i}") for i in range(n)]
+    for state in states:
+        state.observation_start = 0.0
+    return states
+
+
+def test_single_receiver_is_troubled():
+    tracker = TroubleTracker(eta=20, interval_gain=0.5)
+    (state,) = _states(1)
+    tracker.record_signal(state, 5.0, [state])
+    assert state.troubled
+    assert tracker.num_trouble == 1
+
+
+def test_similar_intervals_all_troubled():
+    tracker = TroubleTracker(eta=20, interval_gain=0.5)
+    states = _states(3)
+    now = 0.0
+    for round_ in range(1, 4):
+        for state in states:
+            now = round_ * 3.0 + 0.1 * states.index(state)
+            tracker.record_signal(state, now, states)
+    assert tracker.num_trouble == 3
+
+
+def test_rare_reporter_not_troubled():
+    tracker = TroubleTracker(eta=20, interval_gain=1.0)
+    frequent, rare = _states(2)
+    # frequent: signals every 1 s
+    now = 0.0
+    for k in range(1, 30):
+        now = float(k)
+        tracker.record_signal(frequent, now, [frequent, rare])
+    # rare: one signal whose seeded interval (29 s) exceeds eta * 1 s = 20 s
+    tracker.record_signal(rare, 29.0, [frequent, rare])
+    assert frequent.troubled
+    assert not rare.troubled
+    assert tracker.num_trouble == 1
+
+
+def test_silent_receiver_ages_out():
+    tracker = TroubleTracker(eta=2, interval_gain=1.0)
+    a, b = _states(2)
+    for k in range(1, 5):
+        tracker.record_signal(a, float(k), [a, b])
+        tracker.record_signal(b, float(k) + 0.5, [a, b])
+    assert tracker.num_trouble == 2
+    # b goes silent; a keeps signalling every 1 s
+    for k in range(5, 30):
+        tracker.record_signal(a, float(k), [a, b])
+    assert a.troubled
+    assert not b.troubled
+
+
+def test_pthresh():
+    tracker = TroubleTracker(eta=20, interval_gain=0.5)
+    tracker.num_trouble = 4
+    assert tracker.pthresh() == pytest.approx(0.25)
+    assert tracker.pthresh(scale=0.5) == pytest.approx(0.125)
+    tracker.num_trouble = 0
+    assert tracker.pthresh() == 1.0  # degenerate case: listen to everything
+
+
+def test_pthresh_capped_at_one():
+    tracker = TroubleTracker(eta=20, interval_gain=0.5)
+    tracker.num_trouble = 1
+    assert tracker.pthresh(scale=5.0) == 1.0
+
+
+def test_recount_with_no_signals():
+    tracker = TroubleTracker(eta=20, interval_gain=0.5)
+    states = _states(3)
+    tracker.recount(10.0, states)
+    assert tracker.num_trouble == 0
+    assert tracker.min_interval is None

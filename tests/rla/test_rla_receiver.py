@@ -1,0 +1,112 @@
+"""RLA receiver unit behaviour: stamped ACKs, jitter, ECN echo."""
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.packet import ACK, DATA, Packet
+from repro.rla.config import RLAConfig
+from repro.rla.receiver import RLAReceiver
+from repro.sim.engine import Simulator
+
+
+class _LoopbackNode(Node):
+    def __init__(self, name="R1"):
+        super().__init__(name)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+
+
+def _data(seq, sent_time=1.0, ce=False):
+    packet = Packet(DATA, "rla-0", "S", "group:rla-0", seq, 1000,
+                    sent_time=sent_time)
+    packet.ce = ce
+    return packet
+
+
+def _receiver(sim, **config_kwargs):
+    node = _LoopbackNode()
+    receiver = RLAReceiver(sim, node, "rla-0", "S",
+                           config=RLAConfig(ack_jitter=0.0, **config_kwargs))
+    return receiver, node
+
+
+def test_acks_carry_receiver_identity():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    ack = node.sent[0]
+    assert ack.kind == ACK
+    assert ack.receiver == "R1"
+    assert ack.dst == "S"
+    assert ack.ack == 1
+
+
+def test_ack_echoes_timestamp_and_sack():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0, sent_time=2.5))
+    receiver.on_packet(_data(3))
+    assert node.sent[0].echo_ts == 2.5
+    assert node.sent[1].sack == ((3, 4),)
+
+
+def test_duplicates_counted_but_acked():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(0))
+    assert receiver.duplicates == 1
+    assert len(node.sent) == 2
+
+
+def test_non_data_ignored():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(Packet(ACK, "rla-0", "S", "R1", 0, 40, ack=1))
+    assert node.sent == []
+
+
+def test_ack_jitter_delays_emission():
+    sim = Simulator(seed=3)
+    node = _LoopbackNode()
+    receiver = RLAReceiver(sim, node, "rla-0", "S",
+                           config=RLAConfig(ack_jitter=0.01))
+    sim.schedule(1.0, receiver.on_packet, _data(0))
+    sim.run(until=1.0)
+    assert node.sent == []          # still waiting out the jitter
+    sim.run(until=1.02)
+    assert len(node.sent) == 1
+
+
+def test_jittered_ack_carries_fresh_state():
+    """State advancing during the jitter window is reflected in the ACK."""
+    sim = Simulator(seed=3)
+    node = _LoopbackNode()
+    receiver = RLAReceiver(sim, node, "rla-0", "S",
+                           config=RLAConfig(ack_jitter=0.01))
+    sim.schedule(1.0, receiver.on_packet, _data(0))
+    sim.schedule(1.0, receiver.on_packet, _data(1))
+    sim.run(until=1.05)
+    # both ACKs report the final cumulative point
+    assert [p.ack for p in node.sent] == [2, 2]
+
+
+def test_ecn_mark_echoed():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0, ce=True))
+    receiver.on_packet(_data(1, ce=False))
+    assert node.sent[0].ece is True
+    assert node.sent[1].ece is False
+
+
+def test_stats():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    stats = receiver.stats()
+    assert stats["distinct_received"] == 1
+    assert stats["acks_sent"] == 1
+    assert stats["rcv_nxt"] == 1

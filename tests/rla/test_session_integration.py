@@ -1,0 +1,99 @@
+"""End-to-end RLA sessions on real (small) networks."""
+
+import pytest
+
+from repro.rla.config import RLAConfig
+from repro.rla.session import RLASession
+from repro.tcp.config import TcpConfig
+from repro.tcp.flow import TcpFlow
+from repro.units import pps_to_bps, transmission_time
+
+
+def test_rla_alone_fills_bottleneck(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"])
+    session.start()
+    sim.run(until=10.0)
+    session.mark()
+    sim.run(until=60.0)
+    report = session.report()
+    # three 200 pkt/s branches; the session is limited by the slowest
+    assert report["throughput_pps"] == pytest.approx(200, rel=0.1)
+
+
+def test_rla_reliable_delivery(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"])
+    session.start()
+    sim.run(until=60.0)
+    reach = session.sender.max_reach_all
+    assert reach > 0
+    # every receiver holds every packet up to max_reach_all
+    for receiver in session.receivers.values():
+        assert receiver.tracker.rcv_nxt >= reach * 0.98
+
+
+def test_rla_shares_with_tcp(sim, star_net):
+    jitter = transmission_time(1000, pps_to_bps(200))
+    tcp_cfg = TcpConfig(phase_jitter=jitter)
+    tcps = [TcpFlow(sim, star_net, f"tcp-{i}", "S", f"R{i}",
+                    config=tcp_cfg) for i in (1, 2, 3)]
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"],
+                         config=RLAConfig(phase_jitter=jitter))
+    for index, flow in enumerate(tcps):
+        flow.start(0.1 * index)
+    session.start(0.05)
+    sim.run(until=20.0)
+    session.mark()
+    for flow in tcps:
+        flow.mark()
+    sim.run(until=160.0)
+    rla_rate = session.report()["throughput_pps"]
+    tcp_rates = [flow.report()["throughput_pps"] for flow in tcps]
+    # Theorem II: 1/4 * wtcp < rla < 2n * wtcp -- and here losses are
+    # independent and symmetric, so the share should be near-absolute.
+    assert rla_rate > 0.25 * min(tcp_rates)
+    assert rla_rate < 2 * 3 * min(tcp_rates)
+    assert rla_rate == pytest.approx(100, rel=0.5)
+
+
+def test_cut_rate_is_one_over_n(sim, star_net):
+    jitter = transmission_time(1000, pps_to_bps(200))
+    tcps = [TcpFlow(sim, star_net, f"tcp-{i}", "S", f"R{i}",
+                    config=TcpConfig(phase_jitter=jitter)) for i in (1, 2, 3)]
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"],
+                         config=RLAConfig(phase_jitter=jitter))
+    for flow in tcps:
+        flow.start()
+    session.start()
+    sim.run(until=20.0)
+    session.mark()
+    sim.run(until=200.0)
+    report = session.report()
+    randomized_cuts = report["window_cuts"] - report["forced_cuts"] - report["timeouts"]
+    assert report["congestion_signals"] > 30
+    ratio = randomized_cuts / report["congestion_signals"]
+    assert ratio == pytest.approx(1 / 3, abs=0.15)
+
+
+def test_two_sessions_share_equally(sim, star_net):
+    sessions = [RLASession(sim, star_net, f"rla-{k}", "S", ["R1", "R2", "R3"])
+                for k in range(2)]
+    for index, session in enumerate(sessions):
+        session.start(0.2 * index)
+    sim.run(until=20.0)
+    for session in sessions:
+        session.mark()
+    sim.run(until=200.0)
+    rates = [session.report()["throughput_pps"] for session in sessions]
+    assert sum(rates) == pytest.approx(200, rel=0.15)
+    assert min(rates) / max(rates) > 0.6
+
+
+def test_session_report_keys(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1"])
+    session.start()
+    sim.run(until=5.0)
+    report = session.report()
+    for key in ("throughput_pps", "mean_cwnd", "mean_rtt", "congestion_signals",
+                "window_cuts", "forced_cuts", "num_trouble",
+                "signals_by_receiver", "rtx_multicast"):
+        assert key in report

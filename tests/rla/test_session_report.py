@@ -1,0 +1,43 @@
+"""RLASession reporting semantics."""
+
+import pytest
+
+from repro.rla.session import RLASession
+
+
+def test_report_before_mark_uses_lifetime(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1"])
+    session.start()
+    sim.run(until=10.0)
+    report = session.report()
+    assert report["elapsed"] == pytest.approx(10.0)
+    assert report["throughput_pps"] > 0
+
+
+def test_mark_resets_window(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1"])
+    session.start()
+    sim.run(until=10.0)
+    session.mark()
+    sim.run(until=15.0)
+    report = session.report()
+    assert report["elapsed"] == pytest.approx(5.0)
+    # counters are diffs, not lifetime totals
+    assert report["packets_sent"] < session.sender.packets_sent
+
+
+def test_signals_by_receiver_diffed(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"])
+    session.start()
+    sim.run(until=15.0)
+    session.mark()
+    baseline = {rid: st.signals for rid, st in session.sender.receivers.items()}
+    sim.run(until=45.0)
+    report = session.report()
+    for rid, diff in report["signals_by_receiver"].items():
+        assert diff == session.sender.receivers[rid].signals - baseline[rid]
+
+
+def test_group_defaults_to_flow_name(sim, star_net):
+    session = RLASession(sim, star_net, "rla-9", "S", ["R1"])
+    assert session.group == "group:rla-9"

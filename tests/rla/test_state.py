@@ -1,0 +1,97 @@
+"""Per-receiver state at the RLA sender."""
+
+import pytest
+
+from repro.rla.state import ReceiverState
+
+
+def test_cumulative_ack_reports_new_seqs():
+    state = ReceiverState("R1")
+    assert state.update_ack(3, None) == [0, 1, 2]
+    assert state.update_ack(3, None) == []
+    assert state.last_ack == 3
+
+
+def test_sack_reports_new_seqs_once():
+    state = ReceiverState("R1")
+    assert state.update_ack(0, [(2, 4)]) == [2, 3]
+    assert state.update_ack(0, [(2, 4)]) == []
+    assert state.max_sacked == 3
+
+
+def test_cum_ack_does_not_recount_sacked():
+    state = ReceiverState("R1")
+    state.update_ack(0, [(1, 3)])
+    newly = state.update_ack(3, None)
+    assert newly == [0]
+
+
+def test_has():
+    state = ReceiverState("R1")
+    state.update_ack(2, [(5, 6)])
+    assert state.has(0) and state.has(5)
+    assert not state.has(3)
+
+
+def test_loss_detection_needs_dupthresh():
+    state = ReceiverState("R1")
+    state.update_ack(0, [(1, 3)])  # max_sacked 2
+    assert state.detect_losses(snd_nxt=10, dupthresh=3) == []
+    state.update_ack(0, [(3, 4)])  # max_sacked 3 -> seq 0 lost
+    assert state.detect_losses(snd_nxt=10, dupthresh=3) == [0]
+    # marked: not reported again
+    assert state.detect_losses(snd_nxt=10, dupthresh=3) == []
+
+
+def test_loss_mark_cleared_on_receipt():
+    state = ReceiverState("R1")
+    state.update_ack(0, [(3, 4)])
+    assert state.detect_losses(10, 3) == [0]
+    state.update_ack(1, None)  # seq 0 finally arrives
+    assert 0 not in state.lost_marks
+
+
+def test_unmark_lost():
+    state = ReceiverState("R1")
+    state.update_ack(0, [(3, 4)])
+    state.detect_losses(10, 3)
+    state.unmark_lost(0)
+    assert state.detect_losses(10, 3) == [0]  # re-detected
+
+
+def test_first_signal_seeds_interval_from_observation_start():
+    state = ReceiverState("R1")
+    state.observation_start = 0.0
+    state.record_signal(now=5.0, gain=0.125)
+    assert state.interval_ewma == pytest.approx(5.0)
+
+
+def test_interval_ewma_updates():
+    state = ReceiverState("R1")
+    state.observation_start = 0.0
+    state.record_signal(2.0, gain=0.5)   # seeds at 2.0
+    state.record_signal(6.0, gain=0.5)   # interval 4 -> ewma 3.0
+    assert state.interval_ewma == pytest.approx(3.0)
+    assert state.signals == 2
+
+
+def test_effective_interval_stretches_with_silence():
+    state = ReceiverState("R1")
+    state.observation_start = 0.0
+    state.record_signal(1.0, gain=0.5)
+    state.record_signal(2.0, gain=0.5)
+    assert state.effective_interval(2.0) == pytest.approx(1.0)
+    # after 50 silent seconds the receiver no longer looks troubled
+    assert state.effective_interval(52.0) == pytest.approx(50.0)
+
+
+def test_effective_interval_none_before_signals():
+    state = ReceiverState("R1")
+    assert state.effective_interval(10.0) is None
+
+
+def test_srtt_default():
+    state = ReceiverState("R1")
+    assert state.srtt(0.25) == 0.25
+    state.rtt.update(0.1)
+    assert state.srtt(0.25) == pytest.approx(0.1)

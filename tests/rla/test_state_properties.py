@@ -1,0 +1,68 @@
+"""Property-based invariants of the RLA per-receiver state."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rla.state import ReceiverState
+
+
+ack_stream = st.lists(
+    st.tuples(st.integers(0, 40),                      # cumulative ack
+              st.lists(st.tuples(st.integers(0, 40), st.integers(1, 6)),
+                       max_size=3)),                   # sack (start, width)
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ack_stream)
+def test_property_newly_received_reported_exactly_once(stream):
+    state = ReceiverState("R1")
+    reported = []
+    for ack, sack in stream:
+        blocks = tuple((start, start + width) for start, width in sack)
+        reported.extend(state.update_ack(ack, blocks))
+    assert len(reported) == len(set(reported))  # no double counting
+    for seq in reported:
+        assert state.has(seq)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ack_stream)
+def test_property_last_ack_monotone(stream):
+    state = ReceiverState("R1")
+    last = 0
+    for ack, sack in stream:
+        blocks = tuple((start, start + width) for start, width in sack)
+        state.update_ack(ack, blocks)
+        assert state.last_ack >= last
+        last = state.last_ack
+        assert state.max_sacked >= state.last_ack - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(ack_stream, st.integers(1, 5))
+def test_property_detected_losses_are_unreceived(stream, dupthresh):
+    state = ReceiverState("R1")
+    for ack, sack in stream:
+        blocks = tuple((start, start + width) for start, width in sack)
+        state.update_ack(ack, blocks)
+        for seq in state.detect_losses(snd_nxt=100, dupthresh=dupthresh):
+            assert not state.has(seq)
+            assert seq + dupthresh <= state.max_sacked
+    # every loss mark refers to a segment still missing
+    for seq in state.lost_marks:
+        assert not state.has(seq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+def test_property_interval_ewma_positive(times):
+    state = ReceiverState("R1")
+    state.observation_start = 0.0
+    now = 0.0
+    for delta in times:
+        now += delta
+        state.record_signal(now, gain=0.125)
+        assert state.interval_ewma is not None
+        assert state.interval_ewma > 0
+        assert state.effective_interval(now) >= state.interval_ewma - 1e-12

@@ -1,0 +1,161 @@
+"""The discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+
+
+def test_runs_events_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    executed = sim.run(until=2.0)
+    assert executed == 1
+    assert fired == [1]
+    assert sim.now == 2.0  # clock advanced to the horizon
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_schedule_after_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule_after(-0.1, lambda: None)
+
+
+def test_schedule_at_now_runs_after_current_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(sim.now, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_cancelled_events_are_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    event.cancel()
+    executed = sim.run()
+    assert fired == ["y"]
+    assert executed == 1
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+    counter = []
+
+    def recur():
+        counter.append(1)
+        sim.schedule_after(1.0, recur)
+
+    sim.schedule(0.0, recur)
+    sim.run(max_events=10)
+    assert len(counter) == 10
+
+
+def test_pending_and_peek():
+    sim = Simulator()
+    assert sim.peek() is None
+    event = sim.schedule(4.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    assert sim.peek() == 2.0
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        with pytest.raises(SchedulingError):
+            sim.run()
+
+    sim.schedule(1.0, inner)
+    sim.run()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+def test_property_arbitrary_times_fire_sorted(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.schedule(t, lambda t=t: seen.append(t))
+    sim.run()
+    assert seen == sorted(times)
+    assert len(seen) == len(times)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_property_same_seed_same_stream(seed):
+    a = Simulator(seed=seed).rng.stream("x")
+    b = Simulator(seed=seed).rng.stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]

@@ -1,0 +1,41 @@
+"""Event handles: ordering relations and cancellation flags."""
+
+from repro.sim.events import Event
+
+
+def _noop():
+    pass
+
+
+def test_ordering_by_time_then_seq():
+    early = Event(1.0, 5, _noop)
+    late = Event(2.0, 1, _noop)
+    assert early < late
+    first = Event(1.0, 1, _noop)
+    second = Event(1.0, 2, _noop)
+    assert first < second
+
+
+def test_equality_and_hash():
+    a = Event(1.0, 1, _noop)
+    b = Event(1.0, 1, _noop)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Event(1.0, 2, _noop)
+    assert (a == "not an event") is False
+
+
+def test_cancel_sets_flags():
+    event = Event(1.0, 0, _noop)
+    assert event.active
+    event.cancel()
+    assert event.cancelled
+    assert not event.active
+
+
+def test_repr_mentions_state():
+    event = Event(1.5, 3, _noop, name="probe")
+    assert "probe" in repr(event)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

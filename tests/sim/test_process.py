@@ -1,0 +1,91 @@
+"""Timers and periodic processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+    assert not timer.pending
+
+
+def test_timer_restart_resets_countdown():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.schedule(1.0, lambda: timer.start(2.0))  # restart at t=1
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_stop_cancels():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    timer.stop()
+    sim.run()
+    assert fired == []
+    assert timer.expiry is None
+
+
+def test_timer_expiry_reports_absolute_time():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(1.5)
+    assert timer.expiry == pytest.approx(1.5)
+
+
+def test_periodic_ticks_at_interval():
+    sim = Simulator()
+    ticks = []
+    process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+    process.start()
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_start_offset():
+    sim = Simulator()
+    ticks = []
+    process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now),
+                              start_offset=0.25)
+    process.start()
+    sim.run(until=2.5)
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_stop():
+    sim = Simulator()
+    ticks = []
+    process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+    process.start()
+    sim.schedule(2.5, process.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not process.running
+
+
+def test_periodic_double_start_is_noop():
+    sim = Simulator()
+    ticks = []
+    process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+    process.start()
+    process.start()
+    sim.run(until=1.5)
+    assert ticks == [1.0]
+
+
+def test_periodic_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        PeriodicProcess(sim, 0.0, lambda: None)

@@ -1,0 +1,41 @@
+"""Structured tracing."""
+
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "drop", flow="tcp-0")
+    assert len(tracer) == 0
+
+
+def test_records_and_select():
+    tracer = Tracer()
+    tracer.emit(1.0, "drop", flow="tcp-0")
+    tracer.emit(2.0, "enqueue", flow="tcp-1")
+    tracer.emit(3.0, "drop", flow="tcp-1")
+    drops = tracer.select("drop")
+    assert [time for time, _, _ in drops] == [1.0, 3.0]
+    assert drops[0][2]["flow"] == "tcp-0"
+
+
+def test_category_filter():
+    tracer = Tracer(categories=["drop"])
+    tracer.emit(1.0, "drop")
+    tracer.emit(1.0, "enqueue")
+    assert len(tracer) == 1
+
+
+def test_sink_bypasses_storage():
+    seen = []
+    tracer = Tracer(sink=seen.append)
+    tracer.emit(1.0, "drop", reason="overflow")
+    assert len(tracer) == 0
+    assert seen[0][1] == "drop"
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit(1.0, "x")
+    tracer.clear()
+    assert len(tracer) == 0

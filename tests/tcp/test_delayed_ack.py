@@ -1,0 +1,97 @@
+"""RFC 1122 delayed acknowledgments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.net.packet import DATA, Packet
+from repro.sim.engine import Simulator
+from repro.tcp.config import TcpConfig
+from repro.tcp.flow import TcpFlow
+from repro.tcp.receiver import TcpReceiver
+
+
+class _LoopbackNode(Node):
+    def __init__(self):
+        super().__init__("B")
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+
+
+def _data(seq, sent_time=1.0):
+    return Packet(DATA, "f", "A", "B", seq, 1000, sent_time=sent_time)
+
+
+def _receiver(sim):
+    node = _LoopbackNode()
+    return TcpReceiver(sim, node, "f",
+                       config=TcpConfig(delayed_ack=True)), node
+
+
+def test_every_second_segment_acked():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    assert node.sent == []          # first in-order segment: deferred
+    receiver.on_packet(_data(1))
+    assert len(node.sent) == 1      # second: ack both
+    assert node.sent[0].ack == 2
+
+
+def test_timer_flushes_lone_segment():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    sim.run(until=0.5)              # 200 ms delack timer fires
+    assert len(node.sent) == 1
+    assert node.sent[0].ack == 1
+
+
+def test_out_of_order_acks_immediately():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(2))    # gap: immediate dupack with SACK
+    assert len(node.sent) == 1
+    assert node.sent[0].ack == 1
+    assert node.sent[0].sack == ((2, 3),)
+
+
+def test_duplicate_acks_immediately():
+    sim = Simulator()
+    receiver, node = _receiver(sim)
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(1))
+    receiver.on_packet(_data(1))    # duplicate
+    assert len(node.sent) == 2
+
+
+def test_halves_ack_traffic_on_clean_path(sim, two_node_net):
+    config = TcpConfig(delayed_ack=True)
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B", config=config,
+                   limit=400)
+    flow.start()
+    sim.run(until=60.0)
+    assert flow.sender.finished
+    assert flow.receiver.tracker.rcv_nxt == 400
+    ratio = flow.receiver.acks_sent / 400
+    assert ratio == pytest.approx(0.5, abs=0.15)
+
+
+def test_loss_recovery_still_works(sim, two_node_net):
+    # heavy overdrive against the 20-packet buffer forces losses
+    config = TcpConfig(delayed_ack=True)
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B", config=config,
+                   limit=2000)
+    flow.start()
+    sim.run(until=150.0)
+    assert flow.sender.finished
+    assert flow.receiver.tracker.rcv_nxt == 2000
+    assert flow.sender.retransmits > 0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TcpConfig(delayed_ack=True, delack_timeout=0).validate()

@@ -1,0 +1,70 @@
+"""End-to-end TCP behaviour on shared bottlenecks."""
+
+import pytest
+
+from repro.net.monitor import QueueMonitor
+from repro.tcp.config import TcpConfig
+from repro.tcp.flow import TcpFlow
+from repro.units import transmission_time, pps_to_bps
+
+
+def test_single_flow_saturates_bottleneck(sim, two_node_net):
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    sim.run(until=10.0)
+    flow.mark()
+    sim.run(until=60.0)
+    report = flow.report()
+    assert report["throughput_pps"] == pytest.approx(200, rel=0.05)
+    assert report["timeouts"] == 0
+
+
+def test_two_flows_share_fairly(sim, two_node_net):
+    jitter = transmission_time(1000, pps_to_bps(200))
+    config = TcpConfig(phase_jitter=jitter)
+    flows = [TcpFlow(sim, two_node_net, f"tcp-{i}", "A", "B", config=config)
+             for i in range(2)]
+    for index, flow in enumerate(flows):
+        flow.start(0.3 * index)
+    sim.run(until=20.0)
+    for flow in flows:
+        flow.mark()
+    sim.run(until=150.0)
+    rates = [flow.report()["throughput_pps"] for flow in flows]
+    assert sum(rates) == pytest.approx(200, rel=0.08)
+    assert min(rates) / max(rates) > 0.6  # no starvation
+
+
+def test_buffer_period_oscillation(sim, two_node_net):
+    """§3.1: the bottleneck buffer oscillates between near-empty and full."""
+    monitor = QueueMonitor(sim, two_node_net.link("A", "B").gateway)
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    sim.run(until=60.0)
+    monitor.finish()
+    assert monitor.max_depth == 20        # fills completely
+    assert 2 < monitor.mean_depth() < 19  # but is not pinned full
+
+
+def test_throughput_tracks_pa_window_formula(sim, two_node_net):
+    """Eq 1 sanity: measured cwnd ~= sqrt(2/p) from measured cut rate."""
+    from repro.models.tcp_formula import pa_window
+
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    sim.run(until=10.0)
+    flow.mark()
+    sim.run(until=210.0)
+    report = flow.report()
+    p = report["window_cuts"] / report["packets_sent"]
+    predicted = pa_window(p)
+    assert report["mean_cwnd"] == pytest.approx(predicted, rel=0.35)
+
+
+def test_report_before_mark_uses_lifetime(sim, two_node_net):
+    flow = TcpFlow(sim, two_node_net, "tcp-0", "A", "B")
+    flow.start()
+    sim.run(until=10.0)
+    report = flow.report()
+    assert report["elapsed"] == pytest.approx(10.0)
+    assert report["throughput_pps"] > 0

@@ -1,0 +1,79 @@
+"""TCP receiver: acknowledgment generation."""
+
+from repro.net.node import Node
+from repro.net.packet import ACK, DATA, Packet
+from repro.sim.engine import Simulator
+from repro.tcp.receiver import TcpReceiver
+
+
+class _LoopbackNode(Node):
+    """Node that records instead of routing (unit-test stub)."""
+
+    def __init__(self):
+        super().__init__("B")
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+
+
+def _data(seq, sent_time=1.0):
+    return Packet(DATA, "f", "A", "B", seq, 1000, sent_time=sent_time)
+
+
+def test_ack_per_data_packet():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(1))
+    assert len(node.sent) == 2
+    assert [p.ack for p in node.sent] == [1, 2]
+    assert all(p.kind == ACK for p in node.sent)
+
+
+def test_ack_carries_sack_blocks():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(2))
+    ack = node.sent[-1]
+    assert ack.ack == 1
+    assert ack.sack == ((2, 3),)
+
+
+def test_ack_echoes_timestamp():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(_data(0, sent_time=3.25))
+    assert node.sent[0].echo_ts == 3.25
+
+
+def test_duplicates_counted():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(_data(0))
+    receiver.on_packet(_data(0))
+    assert receiver.duplicates == 1
+    assert receiver.distinct_received == 1
+    assert len(node.sent) == 2  # dup still acked (dupack)
+
+
+def test_ignores_non_data():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(Packet(ACK, "f", "A", "B", 0, 40, ack=1))
+    assert node.sent == []
+
+
+def test_ack_addressed_to_data_source():
+    sim = Simulator()
+    node = _LoopbackNode()
+    receiver = TcpReceiver(sim, node, "f")
+    receiver.on_packet(_data(0))
+    assert node.sent[0].dst == "A"
+    assert node.sent[0].size == 40

@@ -1,0 +1,72 @@
+"""RTT estimation and RTO computation."""
+
+import pytest
+
+from repro.tcp.rto import RttEstimator
+
+
+def test_first_sample_initializes():
+    est = RttEstimator()
+    est.update(0.2)
+    assert est.srtt == pytest.approx(0.2)
+    assert est.rttvar == pytest.approx(0.1)
+
+
+def test_smoothing_converges():
+    est = RttEstimator(min_rto=0.01)
+    for _ in range(200):
+        est.update(0.1)
+    assert est.srtt == pytest.approx(0.1, rel=1e-3)
+    assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+
+def test_rto_is_srtt_plus_4_var():
+    est = RttEstimator(min_rto=0.001)
+    est.update(1.0)  # srtt=1, rttvar=0.5
+    assert est.rto() == pytest.approx(1.0 + 4 * 0.5)
+
+
+def test_rto_clamped_to_min():
+    est = RttEstimator(min_rto=1.0)
+    for _ in range(100):
+        est.update(0.05)
+    assert est.rto() == pytest.approx(1.0)
+
+
+def test_rto_clamped_to_max():
+    est = RttEstimator(min_rto=0.2, max_rto=2.0)
+    est.update(10.0)
+    assert est.rto() == 2.0
+
+
+def test_backoff_doubles_and_sample_resets():
+    est = RttEstimator(min_rto=0.5, max_rto=64.0)
+    est.update(1.0)
+    before = est.rto()
+    est.backoff()
+    assert est.rto() == pytest.approx(2 * before)
+    est.backoff()
+    assert est.rto() == pytest.approx(4 * before)
+    est.update(1.0)
+    assert est.rto() == pytest.approx(before, rel=0.2)
+
+
+def test_conservative_rto_before_samples():
+    est = RttEstimator(min_rto=1.0)
+    assert est.rto() == pytest.approx(3.0)
+
+
+def test_nonpositive_samples_ignored():
+    est = RttEstimator()
+    est.update(0.0)
+    est.update(-1.0)
+    assert est.samples == 0
+    assert est.srtt is None
+
+
+def test_mean_rtt():
+    est = RttEstimator()
+    est.update(0.1)
+    est.update(0.3)
+    assert est.mean_rtt() == pytest.approx(0.2)
+    assert RttEstimator().mean_rtt() == 0.0

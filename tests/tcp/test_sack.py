@@ -1,0 +1,132 @@
+"""SACK machinery: receiver tracker and sender scoreboard."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tcp.sack import ReceiverSackTracker, SenderScoreboard
+
+
+# ---------------------------------------------------------------------
+# receiver side
+# ---------------------------------------------------------------------
+def test_in_order_advances_cumack():
+    tracker = ReceiverSackTracker()
+    for seq in range(5):
+        assert tracker.receive(seq)
+    assert tracker.rcv_nxt == 5
+    assert tracker.blocks() == ()
+
+
+def test_gap_generates_sack_block():
+    tracker = ReceiverSackTracker()
+    tracker.receive(0)
+    tracker.receive(2)
+    tracker.receive(3)
+    assert tracker.rcv_nxt == 1
+    assert tracker.blocks() == ((2, 4),)
+
+
+def test_hole_fill_merges():
+    tracker = ReceiverSackTracker()
+    for seq in (0, 2, 3, 1):
+        tracker.receive(seq)
+    assert tracker.rcv_nxt == 4
+    assert tracker.blocks() == ()
+
+
+def test_duplicate_not_new():
+    tracker = ReceiverSackTracker()
+    assert tracker.receive(0)
+    assert not tracker.receive(0)
+    tracker.receive(5)
+    assert not tracker.receive(5)
+    assert tracker.distinct_received == 2
+
+
+def test_most_recent_block_first():
+    tracker = ReceiverSackTracker()
+    tracker.receive(2)   # block (2,3)
+    tracker.receive(10)  # block (10,11) - most recent
+    blocks = tracker.blocks()
+    assert blocks[0] == (10, 11)
+    assert blocks[1] == (2, 3)
+
+
+def test_at_most_three_blocks():
+    tracker = ReceiverSackTracker()
+    for seq in (2, 4, 6, 8, 10):
+        tracker.receive(seq)
+    assert len(tracker.blocks()) == 3
+
+
+def test_has():
+    tracker = ReceiverSackTracker()
+    tracker.receive(0)
+    tracker.receive(3)
+    assert tracker.has(0) and tracker.has(3)
+    assert not tracker.has(1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.permutations(list(range(12))))
+def test_property_any_arrival_order_converges(order):
+    tracker = ReceiverSackTracker()
+    for seq in order:
+        tracker.receive(seq)
+    assert tracker.rcv_nxt == 12
+    assert tracker.blocks() == ()
+    assert tracker.distinct_received == 12
+
+
+# ---------------------------------------------------------------------
+# sender side
+# ---------------------------------------------------------------------
+def test_cumack_counts_newly_acked():
+    board = SenderScoreboard()
+    assert board.update(3, None) == 3
+    assert board.update(3, None) == 0
+    assert board.update(5, None) == 2
+    assert board.snd_una == 5
+
+
+def test_sack_marks_segments():
+    board = SenderScoreboard()
+    board.update(0, [(2, 5)])
+    assert board.is_sacked(2) and board.is_sacked(4)
+    assert not board.is_sacked(0)
+    assert board.max_sacked == 4
+
+
+def test_loss_rule_needs_dupthresh_gap():
+    board = SenderScoreboard(dupthresh=3)
+    board.update(0, [(1, 3)])  # max_sacked = 2 < 0 + 3
+    assert not board.is_lost(0)
+    board.update(0, [(3, 4)])  # max_sacked = 3 >= 0 + 3
+    assert board.is_lost(0)
+
+
+def test_sacked_segment_not_lost():
+    board = SenderScoreboard()
+    board.update(0, [(1, 10)])
+    assert not board.is_lost(5)
+    assert board.is_lost(0)
+
+
+def test_lost_segments_enumeration():
+    board = SenderScoreboard()
+    board.update(0, [(1, 3), (5, 9)])
+    # max_sacked = 8; candidates 0..5: 0,3,4 unsacked, limit is 8-3+1=6
+    assert board.lost_segments(up_to=20) == [0, 3, 4]
+
+
+def test_cumack_prunes_sack_state():
+    board = SenderScoreboard()
+    board.update(0, [(2, 5)])
+    board.update(5, None)
+    assert board.sacked_count == 0
+    assert board.is_sacked(3)  # below snd_una counts as delivered
+
+
+def test_cumack_implies_max_sacked():
+    board = SenderScoreboard()
+    board.update(7, None)
+    assert board.max_sacked == 6

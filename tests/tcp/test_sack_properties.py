@@ -1,0 +1,76 @@
+"""Property-based consistency between the SACK receiver and sender views."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tcp.sack import ReceiverSackTracker, SenderScoreboard
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+def test_property_scoreboard_tracks_receiver(arrivals):
+    """Feeding every receiver ACK into the scoreboard converges the views."""
+    tracker = ReceiverSackTracker()
+    board = SenderScoreboard()
+    for seq in arrivals:
+        tracker.receive(seq)
+        board.update(tracker.rcv_nxt, tracker.blocks())
+    assert board.snd_una == tracker.rcv_nxt
+    # nothing SACKed is below the cumulative point
+    for seq in range(board.snd_una):
+        assert board.is_sacked(seq)
+    # everything the receiver holds out-of-order within the last 3 reported
+    # blocks is known to the sender
+    for start, end in tracker.blocks():
+        for seq in range(start, end):
+            assert board.is_sacked(seq)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.integers(0, 40), min_size=1, max_size=35))
+def test_property_blocks_exactly_cover_out_of_order_data(seqs):
+    """SACK blocks lie above rcv_nxt, don't overlap, and contain only
+    received segments."""
+    tracker = ReceiverSackTracker()
+    for seq in sorted(seqs, reverse=True):  # adversarial order
+        tracker.receive(seq)
+    blocks = tracker.blocks()
+    covered = set()
+    for start, end in blocks:
+        assert start >= tracker.rcv_nxt
+        assert end > start
+        span = set(range(start, end))
+        assert not span & covered  # no overlap
+        covered |= span
+    assert covered <= seqs  # only really-received segments are advertised
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 25), min_size=1, max_size=50))
+def test_property_rcv_nxt_monotone_and_correct(arrivals):
+    tracker = ReceiverSackTracker()
+    seen = set()
+    last = 0
+    for seq in arrivals:
+        tracker.receive(seq)
+        seen.add(seq)
+        assert tracker.rcv_nxt >= last
+        last = tracker.rcv_nxt
+        # rcv_nxt is exactly the first gap
+        expected = 0
+        while expected in seen:
+            expected += 1
+        assert tracker.rcv_nxt == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 5)),
+                min_size=1, max_size=30))
+def test_property_scoreboard_update_monotone(acks):
+    """snd_una and max_sacked never regress, whatever the ACK stream."""
+    board = SenderScoreboard()
+    last_una, last_max = 0, -1
+    for ack, width in acks:
+        board.update(ack, [(ack + 2, ack + 2 + width)])
+        assert board.snd_una >= last_una
+        assert board.max_sacked >= last_max
+        last_una, last_max = board.snd_una, board.max_sacked

@@ -1,0 +1,26 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for exc in (errors.ConfigurationError, errors.SimulationError,
+                errors.SchedulingError, errors.RoutingError,
+                errors.TopologyError):
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_scheduling_is_simulation_error():
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+    assert issubclass(errors.RoutingError, errors.SimulationError)
+
+
+def test_topology_is_configuration_error():
+    assert issubclass(errors.TopologyError, errors.ConfigurationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulingError("late")

@@ -1,0 +1,102 @@
+"""The figure 6 tertiary tree builder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.engine import Simulator
+from repro.topology.tree import (
+    DEFAULT_BANDWIDTH,
+    build_tertiary_tree,
+    static_tree_info,
+    tree_link_names,
+)
+from repro.units import ms, pps_to_bps
+
+
+def test_link_name_inventory():
+    names = tree_link_names()
+    assert len(names) == 1 + 3 + 9 + 27
+    assert names[0] == "L1"
+    assert "L21" in names and "L39" in names and "L427" in names
+
+
+def test_static_info_structure():
+    info = static_tree_info()
+    assert info.links["L1"] == ("S", "G1")
+    assert info.links["L21"] == ("G1", "G21")
+    assert info.links["L34"] == ("G22", "G34")
+    assert info.links["L410"] == ("G34", "R10")
+    assert len(info.leaves) == 27
+    assert len(info.level3) == 9
+
+
+def test_leaves_below():
+    info = static_tree_info()
+    assert info.leaves_below["L1"] == [f"R{i}" for i in range(1, 28)]
+    assert info.leaves_below["L21"] == [f"R{i}" for i in range(1, 10)]
+    assert info.leaves_below["L35"] == ["R13", "R14", "R15"]
+    assert info.leaves_below["L47"] == ["R7"]
+
+
+def test_receivers_below_with_interior_members():
+    info = static_tree_info()
+    population = info.leaves + info.level3
+    below_l21 = info.receivers_below("L21", population)
+    assert "G31" in below_l21 and "R9" in below_l21
+    assert "G34" not in below_l21
+
+
+def test_level_of():
+    info = static_tree_info()
+    assert info.level_of("L1") == 1
+    assert info.level_of("L21") == 2
+    assert info.level_of("L39") == 3
+    assert info.level_of("L427") == 4
+
+
+def test_endpoints_unknown_link():
+    with pytest.raises(TopologyError):
+        static_tree_info().endpoints("L99")
+
+
+def test_build_tree_delays_match_paper():
+    sim = Simulator()
+    net, info = build_tertiary_tree(sim)
+    # one-way S->leaf: 5 + 5 + 5 + 100 ms
+    assert net.path_delay("S", "R1") == pytest.approx(ms(115))
+    assert net.path_delay("S", "G31") == pytest.approx(ms(15))
+
+
+def test_build_tree_bandwidth_overrides():
+    sim = Simulator()
+    net, info = build_tertiary_tree(
+        sim, link_bandwidths={"L41": pps_to_bps(200)}
+    )
+    assert net.link("G31", "R1").bandwidth_bps == pps_to_bps(200)
+    assert net.link("G31", "R2").bandwidth_bps == DEFAULT_BANDWIDTH
+
+
+def test_build_tree_unknown_override_rejected():
+    sim = Simulator()
+    with pytest.raises(TopologyError):
+        build_tertiary_tree(sim, link_bandwidths={"L99": 1.0})
+
+
+def test_build_tree_red():
+    from repro.net.red import REDQueue
+
+    sim = Simulator()
+    net, info = build_tertiary_tree(sim, gateway="red")
+    assert isinstance(net.link("S", "G1").gateway, REDQueue)
+    assert net.link("S", "G1").gateway.min_th == 5.0
+
+
+def test_build_tree_unknown_gateway():
+    with pytest.raises(TopologyError):
+        build_tertiary_tree(Simulator(), gateway="fifo")
+
+
+def test_tree_routes_built():
+    sim = Simulator()
+    net, _ = build_tertiary_tree(sim)
+    assert net.path("R1", "S") == ["R1", "G31", "G21", "G1", "S"]
