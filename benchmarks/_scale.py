@@ -19,3 +19,14 @@ def bench_duration() -> float:
 def bench_warmup() -> float:
     """Warmup discarded before measuring (seconds)."""
     return float(os.environ.get("REPRO_BENCH_WARMUP", DEFAULT_WARMUP))
+
+
+def bench_workers() -> int:
+    """Worker processes for the figure/sweep grids (``REPRO_BENCH_WORKERS``).
+
+    Defaults to one per core, capped at 4 — enough to fan the five-case
+    grids out without oversubscribing CI runners.  Set to 1 to force the
+    serial path (results are byte-identical either way).
+    """
+    default = min(os.cpu_count() or 1, 4)
+    return max(int(os.environ.get("REPRO_BENCH_WORKERS", default)), 1)

@@ -8,7 +8,7 @@ in both cases while no TCP is shut out.
 
 from __future__ import annotations
 
-from _scale import bench_duration, bench_warmup
+from _scale import bench_duration, bench_warmup, bench_workers
 from repro.experiments.fig10_rtt import run_fig10
 from repro.experiments.paperdata import FIG10_RTT
 from repro.experiments.tables import format_case_table
@@ -17,7 +17,7 @@ from repro.experiments.tables import format_case_table
 def test_fig10_different_rtts(benchmark, run_cache):
     def run():
         return run_fig10(duration=bench_duration(), warmup=bench_warmup(),
-                         seed=1)
+                         seed=1, workers=bench_workers())
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     run_cache["fig10"] = results

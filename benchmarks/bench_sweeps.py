@@ -12,7 +12,7 @@ Asserts the essential-fairness verdict at every sweep point.
 
 from __future__ import annotations
 
-from _scale import bench_duration, bench_warmup
+from _scale import bench_duration, bench_warmup, bench_workers
 from repro.experiments.sweeps import (
     format_sweep,
     sweep_buffer_size,
@@ -25,7 +25,8 @@ def test_receiver_count_sweep(benchmark):
     def run():
         return sweep_receiver_count(counts=(2, 4, 8),
                                     duration=bench_duration(),
-                                    warmup=bench_warmup())
+                                    warmup=bench_warmup(),
+                                    workers=bench_workers())
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n" + format_sweep(rows, "n_receivers"))
@@ -40,7 +41,8 @@ def test_buffer_size_sweep(benchmark):
     def run():
         return sweep_buffer_size(buffers=(10, 20, 40),
                                  duration=bench_duration(),
-                                 warmup=bench_warmup())
+                                 warmup=bench_warmup(),
+                                 workers=bench_workers())
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n" + format_sweep(rows, "buffer_pkts"))
@@ -52,7 +54,8 @@ def test_share_sweep(benchmark):
     def run():
         return sweep_share(shares=(50.0, 100.0, 200.0),
                            duration=bench_duration(),
-                           warmup=bench_warmup())
+                           warmup=bench_warmup(),
+                           workers=bench_workers())
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n" + format_sweep(rows, "share_pps"))

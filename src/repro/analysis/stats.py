@@ -83,7 +83,15 @@ class TimeWeighted:
         self._value = value
 
     def mean(self, now: Optional[float] = None) -> float:
-        """Average up to ``now`` (defaults to the last update time)."""
+        """Average up to ``now`` (defaults to the last update time).
+
+        ``now`` must not precede the last update — a backwards query
+        would silently subtract area, mirroring :meth:`update`'s guard.
+        """
+        if now is not None and now < self._last_time:
+            raise ConfigurationError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
         end = self._last_time if now is None else now
         elapsed = end - self._origin
         if elapsed <= 0:
@@ -125,19 +133,32 @@ class Histogram:
             self.counts[int((value - self.low) / width)] += 1
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (bin midpoint); q in [0, 1]."""
+        """Approximate q-quantile (bin midpoint); q in [0, 1].
+
+        ``q == 0`` returns the low edge of the first *occupied* bin
+        (``low`` itself if there is underflow) — never the midpoint of an
+        empty leading bin, which the ``running >= target`` test would
+        otherwise accept vacuously at ``target == 0``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile out of [0,1]: {q}")
         if self.total == 0:
             return self.low
+        width = (self.high - self.low) / self.bins
+        if q == 0.0:
+            if self.underflow:
+                return self.low
+            for index, count in enumerate(self.counts):
+                if count:
+                    return self.low + index * width
+            return self.high  # all mass in the overflow bin
         target = q * self.total
         running = self.underflow
         if running >= target and self.underflow:
             return self.low
-        width = (self.high - self.low) / self.bins
         for index, count in enumerate(self.counts):
             running += count
-            if running >= target:
+            if count and running >= target:
                 return self.low + (index + 0.5) * width
         return self.high
 

@@ -4,17 +4,30 @@ Examples::
 
     repro-rla fig4
     repro-rla fig7 --duration 120 --warmup 20 --cases 1 3
-    repro-rla fig9 --seed 7
-    repro-rla fig10
+    repro-rla fig9 --seed 7 --workers 4
+    repro-rla fig10 --workers 4 --cache --metrics
     repro-rla fig5 --steps 100000
     repro-rla multisession --duration 150
+    repro-rla sweep --counts 2 4 8 --workers 4
+
+Simulation subcommands (fig7/8/9/10, sweep) accept:
+
+* ``--workers N`` — fan independent runs out over N processes via
+  :mod:`repro.runtime` (results byte-identical to serial);
+* ``--cache [DIR]`` — reuse finished runs from the on-disk result cache
+  (default directory ``$REPRO_CACHE_DIR`` or ``.repro-cache``); a second
+  invocation with unchanged parameters does not re-simulate;
+* ``--metrics`` — print a per-run runtime summary (wall time, events,
+  events/s, drops, peak queue depth, cache hits).
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+import sys
+from typing import Any, List, Optional
 
+from .errors import ReproError
 from .experiments import (
     fig7_table,
     fig8_table,
@@ -34,6 +47,41 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=float, default=20.0,
                         help="discarded warmup seconds (paper: 100)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run independent simulations over N worker "
+                             "processes (default: serial in-process)")
+    parser.add_argument("--cache", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="serve unchanged runs from the on-disk result "
+                             "cache (DIR defaults to $REPRO_CACHE_DIR or "
+                             ".repro-cache)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the per-run runtime summary table")
+
+
+def _runtime_kwargs(args: argparse.Namespace, outcomes: List[Any]) -> dict:
+    """Translate --workers/--cache/--metrics into runner keyword arguments."""
+    kwargs: dict = {}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.cache is not None:
+        from .runtime import ResultCache
+
+        kwargs["cache"] = ResultCache(args.cache or None)
+    if not kwargs and getattr(args, "metrics", False):
+        # --metrics alone still needs the runtime path to collect outcomes
+        kwargs["workers"] = 1
+    if kwargs:
+        kwargs["outcomes"] = outcomes
+    return kwargs
+
+
+def _print_metrics(args: argparse.Namespace, outcomes: List[Any]) -> None:
+    if getattr(args, "metrics", False) and outcomes:
+        from .runtime import metrics_table
+
+        print()
+        print(metrics_table([outcome.metrics for outcome in outcomes]))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.figure == "fig4":
         print(render_field())
     elif args.figure == "fig5":
@@ -81,19 +137,28 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"fair point {trace.model.operating_point()}; "
               f"mass within radius 10: {trace.mass_within(10.0):.2%}")
     elif args.figure in ("fig7", "fig8"):
+        outcomes: List[Any] = []
         results = run_fig7(duration=args.duration, warmup=args.warmup,
-                           seed=args.seed, cases=args.cases)
+                           seed=args.seed, cases=args.cases,
+                           **_runtime_kwargs(args, outcomes))
         print(fig7_table(results) if args.figure == "fig7" else fig8_table(results))
+        _print_metrics(args, outcomes)
     elif args.figure == "fig9":
         from .experiments import run_fig9
+        outcomes = []
         results = run_fig9(duration=args.duration, warmup=args.warmup,
-                           seed=args.seed, cases=args.cases)
+                           seed=args.seed, cases=args.cases,
+                           **_runtime_kwargs(args, outcomes))
         print(fig9_table(results))
+        _print_metrics(args, outcomes)
     elif args.figure == "fig10":
         from .experiments import run_fig10
+        outcomes = []
         results = run_fig10(duration=args.duration, warmup=args.warmup,
-                            seed=args.seed, cases=args.cases)
+                            seed=args.seed, cases=args.cases,
+                            **_runtime_kwargs(args, outcomes))
         print(fig10_table(results))
+        _print_metrics(args, outcomes)
     elif args.figure == "multisession":
         result = run_multisession(duration=args.duration, warmup=args.warmup,
                                   seed=args.seed)
@@ -101,10 +166,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{metric}: measured {measured}, paper {paper}")
     elif args.figure == "sweep":
         from .experiments.sweeps import format_sweep, sweep_receiver_count
+        outcomes = []
         rows = sweep_receiver_count(counts=args.counts,
                                     duration=args.duration,
-                                    warmup=args.warmup, seed=args.seed)
+                                    warmup=args.warmup, seed=args.seed,
+                                    **_runtime_kwargs(args, outcomes))
         print(format_sweep(rows, "n_receivers"))
+        _print_metrics(args, outcomes)
     return 0
 
 

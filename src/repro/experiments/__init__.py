@@ -11,12 +11,20 @@ from .fig8_signals import fig8_table, run_fig8
 from .fig9_red import fig9_table, run_fig9
 from .fig10_rtt import fig10_table, run_fig10
 from .multisession import run_multisession, summarize
-from .runner import TreeExperimentResult, TreeExperimentSpec, run_tree_experiment
+from .runner import (
+    TreeExperimentResult,
+    TreeExperimentSpec,
+    run_tree_experiment,
+    run_tree_experiments,
+    tree_runspec,
+)
 from .sweeps import (
     format_sweep,
+    run_symmetric_spec,
     sweep_buffer_size,
     sweep_receiver_count,
     sweep_share,
+    symmetric_runspec,
 )
 from .tables import format_case_table, format_signals_table, render_grid
 
@@ -44,6 +52,10 @@ __all__ = [
     "run_multisession",
     "run_packet_density",
     "run_particle_density",
+    "run_symmetric_spec",
     "run_tree_experiment",
+    "run_tree_experiments",
     "summarize",
+    "symmetric_runspec",
+    "tree_runspec",
 ]

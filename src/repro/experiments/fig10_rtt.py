@@ -9,11 +9,16 @@ level 3.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..topology.cases import RTT_CASES
 from .paperdata import FIG10_RTT
-from .runner import TreeExperimentResult, TreeExperimentSpec, run_tree_experiment
+from .runner import (
+    TreeExperimentResult,
+    TreeExperimentSpec,
+    run_tree_experiment,
+    run_tree_experiments,
+)
 from .tables import format_case_table
 
 
@@ -24,11 +29,17 @@ def run_fig10(
     cases: Iterable[int] = (1, 2),
     share_pps: float = 100.0,
     gateway: str = "droptail",
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> Dict[int, TreeExperimentResult]:
-    """Run the figure 10 cases (36 receivers, RTT-scaled listening)."""
-    results: Dict[int, TreeExperimentResult] = {}
-    for case_number in cases:
-        spec = TreeExperimentSpec(
+    """Run the figure 10 cases (36 receivers, RTT-scaled listening).
+
+    ``workers``/``cache`` fan the case grid out through
+    :mod:`repro.runtime`, as in :func:`~repro.experiments.fig7_droptail.run_fig7`.
+    """
+    specs = {
+        case_number: TreeExperimentSpec(
             case=RTT_CASES[case_number],
             gateway=gateway,
             duration=duration,
@@ -37,8 +48,13 @@ def run_fig10(
             share_pps=share_pps,
             generalized=True,
         )
-        results[case_number] = run_tree_experiment(spec)
-    return results
+        for case_number in cases
+    }
+    if workers is None and cache is None:
+        return {number: run_tree_experiment(spec)
+                for number, spec in specs.items()}
+    return run_tree_experiments(specs, workers=workers, cache=cache,
+                                outcomes=outcomes)
 
 
 def fig10_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:

@@ -9,11 +9,16 @@ scaled-down (but shape-preserving) version.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..topology.cases import TREE_CASES
 from .paperdata import FIG7_DROPTAIL
-from .runner import TreeExperimentResult, TreeExperimentSpec, run_tree_experiment
+from .runner import (
+    TreeExperimentResult,
+    TreeExperimentSpec,
+    run_tree_experiment,
+    run_tree_experiments,
+)
 from .tables import format_case_table
 
 
@@ -24,11 +29,18 @@ def run_fig7(
     cases: Iterable[int] = (1, 2, 3, 4, 5),
     share_pps: float = 100.0,
     gateway: str = "droptail",
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> Dict[int, TreeExperimentResult]:
-    """Run the selected figure 7 cases; returns results keyed by case."""
-    results: Dict[int, TreeExperimentResult] = {}
-    for case_number in cases:
-        spec = TreeExperimentSpec(
+    """Run the selected figure 7 cases; returns results keyed by case.
+
+    With ``workers`` and/or ``cache`` set, the case grid fans out through
+    :mod:`repro.runtime` (byte-identical results, run in parallel and
+    cached on disk); otherwise the cases run serially in-process.
+    """
+    specs = {
+        case_number: TreeExperimentSpec(
             case=TREE_CASES[case_number],
             gateway=gateway,
             duration=duration,
@@ -36,8 +48,13 @@ def run_fig7(
             seed=seed,
             share_pps=share_pps,
         )
-        results[case_number] = run_tree_experiment(spec)
-    return results
+        for case_number in cases
+    }
+    if workers is None and cache is None:
+        return {number: run_tree_experiment(spec)
+                for number, spec in specs.items()}
+    return run_tree_experiments(specs, workers=workers, cache=cache,
+                                outcomes=outcomes)
 
 
 def fig7_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:

@@ -7,7 +7,7 @@ eliminate phase effects by themselves (§3.1, §5.1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from .fig7_droptail import run_fig7
 from .paperdata import FIG9_RED
@@ -21,11 +21,15 @@ def run_fig9(
     seed: int = 1,
     cases: Iterable[int] = (1, 2, 3, 4, 5),
     share_pps: float = 100.0,
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the selected figure 9 cases (RED gateways)."""
     return run_fig7(
         duration=duration, warmup=warmup, seed=seed, cases=cases,
         share_pps=share_pps, gateway="red",
+        workers=workers, cache=cache, outcomes=outcomes,
     )
 
 

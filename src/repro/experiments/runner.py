@@ -10,7 +10,7 @@ call those.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, Hashable, List, Optional, Union
 
 from ..errors import ConfigurationError
 from ..net.addressing import flow_id
@@ -94,6 +94,9 @@ class TreeExperimentResult:
     #: receivers split into "more" / "less" congested tiers
     tiers: Dict[str, List[str]] = field(default_factory=dict)
     receivers: List[str] = field(default_factory=list)
+    #: engine statistics for the runtime layer's metric tables:
+    #: events executed, total gateway drops, peak queue depth
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def wtcp(self) -> dict:
@@ -137,6 +140,18 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
     receivers = case_receivers(case, info)
     jitter = spec.resolved_jitter(min(bandwidths.values()))
     start_rng = sim.rng.stream("experiment.start")
+
+    # Instrument every gateway so the runtime layer can report engine-level
+    # load (drops, peak occupancy) without re-walking the network.
+    peak_depth = [0]
+
+    def _track_depth(_now: float, _packet, depth: int) -> None:
+        if depth > peak_depth[0]:
+            peak_depth[0] = depth
+
+    gateways = [link.gateway for link in net.links.values()]
+    for gateway in gateways:
+        gateway.on_enqueue(_track_depth)
 
     tcp_config = TcpConfig(
         packet_size=spec.packet_size, phase_jitter=jitter,
@@ -186,4 +201,57 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
         tcp={receiver: flow.report() for receiver, flow in tcp_flows.items()},
         tiers=congestion_tiers(case, info, receivers),
         receivers=receivers,
+        stats={
+            "events": sim.events_executed,
+            "drops": sum(gateway.dropped for gateway in gateways),
+            "peak_queue_depth": peak_depth[0],
+            "sim_time": sim.now,
+        },
     )
+
+
+# ----------------------------------------------------------------------
+# parallel-runtime wiring
+# ----------------------------------------------------------------------
+#: Entrypoint path worker processes resolve to run one tree experiment.
+TREE_ENTRYPOINT = "repro.experiments.runner:run_tree_spec"
+
+
+def run_tree_spec(params: Dict[str, Any]) -> TreeExperimentResult:
+    """:mod:`repro.runtime` entrypoint: ``params['spec']`` is the spec."""
+    return run_tree_experiment(params["spec"])
+
+
+def tree_runspec(spec: TreeExperimentSpec, label: str = ""):
+    """Wrap a :class:`TreeExperimentSpec` as a content-addressed RunSpec."""
+    from ..runtime import RunSpec
+
+    return RunSpec(
+        TREE_ENTRYPOINT, {"spec": spec},
+        label=label or f"{spec.case.name}/{spec.gateway}/seed{spec.seed}",
+    )
+
+
+def run_tree_experiments(
+    specs: Dict[Hashable, TreeExperimentSpec],
+    workers: Optional[int] = None,
+    cache=None,
+    timeout: Optional[float] = None,
+    outcomes: Optional[List[Any]] = None,
+) -> Dict[Hashable, TreeExperimentResult]:
+    """Run a keyed grid of tree experiments through the parallel runtime.
+
+    Results come back keyed like the input, in input order, and are
+    byte-identical to calling :func:`run_tree_experiment` serially: each
+    run's randomness is fully determined by its spec.  ``outcomes``, if
+    given, is extended with the :class:`~repro.runtime.RunOutcome`
+    records (for metric tables / cache accounting).
+    """
+    from ..runtime import run_specs
+
+    keys = list(specs)
+    runspecs = [tree_runspec(specs[key]) for key in keys]
+    outs = run_specs(runspecs, workers=workers, cache=cache, timeout=timeout)
+    if outcomes is not None:
+        outcomes.extend(outs)
+    return {key: out.result for key, out in zip(keys, outs)}

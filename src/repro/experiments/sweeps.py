@@ -12,11 +12,15 @@ deployment would want:
 
 All sweeps run the symmetric restricted topology (figure 1) where the
 expected outcome is near-absolute fairness at every point.
+
+All sweeps accept ``workers``/``cache``: with either set they fan out
+through :mod:`repro.runtime` (parallel execution + on-disk result
+caching) and return rows byte-identical to the serial path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..models.fairness import check_essential_fairness
 from ..rla.config import RLAConfig
@@ -47,6 +51,15 @@ def _run_symmetric(
     )
     sim = Simulator(seed=seed)
     net, receivers = build_restricted(sim, spec)
+    peak_depth = [0]
+
+    def _track_depth(_now: float, _packet, depth: int) -> None:
+        if depth > peak_depth[0]:
+            peak_depth[0] = depth
+
+    gateways = [link.gateway for link in net.links.values()]
+    for gw in gateways:
+        gw.on_enqueue(_track_depth)
     jitter = (transmission_time(spec.packet_size, pps_to_bps(mu))
               if gateway == "droptail" else None)
     flows: List[TcpFlow] = []
@@ -84,7 +97,61 @@ def _run_symmetric(
         "num_trouble": n,
         "window_cuts": rla["window_cuts"],
         "signals": rla["congestion_signals"],
+        "sim_stats": {
+            "events": sim.events_executed,
+            "drops": sum(gw.dropped for gw in gateways),
+            "peak_queue_depth": peak_depth[0],
+            "sim_time": sim.now,
+        },
     }
+
+
+# ----------------------------------------------------------------------
+# parallel-runtime wiring
+# ----------------------------------------------------------------------
+#: Entrypoint path worker processes resolve to run one symmetric point.
+SYMMETRIC_ENTRYPOINT = "repro.experiments.sweeps:run_symmetric_spec"
+
+
+def run_symmetric_spec(params: Dict[str, Any]) -> Dict[str, float]:
+    """:mod:`repro.runtime` entrypoint for one symmetric sweep point."""
+    return _run_symmetric(
+        n_receivers=int(params["n_receivers"]),
+        share_pps=float(params["share_pps"]),
+        buffer_pkts=int(params["buffer_pkts"]),
+        duration=float(params["duration"]),
+        warmup=float(params["warmup"]),
+        seed=int(params["seed"]),
+        gateway=str(params["gateway"]),
+    )
+
+
+def symmetric_runspec(label_knob: str, **params):
+    """A content-addressed RunSpec for one symmetric sweep point."""
+    from ..runtime import RunSpec
+
+    return RunSpec(SYMMETRIC_ENTRYPOINT, params,
+                   label=f"sweep {label_knob}={params[label_knob]} "
+                         f"({params['gateway']})")
+
+
+def _run_points(
+    points: List[Dict[str, Any]],
+    label_knob: str,
+    workers: Optional[int],
+    cache,
+    outcomes: Optional[List[Any]],
+) -> List[Dict[str, float]]:
+    """Serial loop when the runtime is not requested, fan-out when it is."""
+    if workers is None and cache is None:
+        return [run_symmetric_spec(point) for point in points]
+    from ..runtime import run_specs
+
+    specs = [symmetric_runspec(label_knob, **point) for point in points]
+    outs = run_specs(specs, workers=workers, cache=cache)
+    if outcomes is not None:
+        outcomes.extend(outs)
+    return [out.result for out in outs]
 
 
 def sweep_receiver_count(
@@ -94,12 +161,17 @@ def sweep_receiver_count(
     warmup: float = 20.0,
     seed: int = 1,
     gateway: str = "droptail",
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> List[Dict[str, float]]:
     """Fairness ratio as the receiver population grows."""
-    return [
-        _run_symmetric(n, share_pps, 20, duration, warmup, seed, gateway)
+    points = [
+        dict(n_receivers=n, share_pps=share_pps, buffer_pkts=20,
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
         for n in counts
     ]
+    return _run_points(points, "n_receivers", workers, cache, outcomes)
 
 
 def sweep_buffer_size(
@@ -110,13 +182,17 @@ def sweep_buffer_size(
     warmup: float = 20.0,
     seed: int = 1,
     gateway: str = "droptail",
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> List[Dict[str, float]]:
     """Fairness ratio across gateway buffer sizes."""
-    return [
-        _run_symmetric(n_receivers, share_pps, buffer, duration, warmup,
-                       seed, gateway)
+    points = [
+        dict(n_receivers=n_receivers, share_pps=share_pps, buffer_pkts=buffer,
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
         for buffer in buffers
     ]
+    return _run_points(points, "buffer_pkts", workers, cache, outcomes)
 
 
 def sweep_share(
@@ -126,12 +202,17 @@ def sweep_share(
     warmup: float = 20.0,
     seed: int = 1,
     gateway: str = "droptail",
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
 ) -> List[Dict[str, float]]:
     """Fairness ratio across absolute bottleneck speeds."""
-    return [
-        _run_symmetric(n_receivers, share, 20, duration, warmup, seed, gateway)
+    points = [
+        dict(n_receivers=n_receivers, share_pps=share, buffer_pkts=20,
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
         for share in shares
     ]
+    return _run_points(points, "share_pps", workers, cache, outcomes)
 
 
 def format_sweep(rows: List[Dict[str, float]], knob: str) -> str:

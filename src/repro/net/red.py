@@ -45,11 +45,19 @@ class REDQueue(Gateway):
             raise ValueError(f"w_q out of (0, 1]: {w_q}")
         if not 0 < max_p <= 1:
             raise ValueError(f"max_p out of (0, 1]: {max_p}")
+        if rng is None:
+            # A silent random.Random(0) default would bypass the simulator's
+            # seeded streams: every directly constructed RED gateway would
+            # share one drop sequence, and same-seed replay would diverge.
+            raise ValueError(
+                "REDQueue requires an injected rng; use "
+                "sim.rng.stream('red.<name>') or net.red_factory(sim, ...)"
+            )
         self.min_th = min_th
         self.max_th = max_th
         self.w_q = w_q
         self.max_p = max_p
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng
         #: When True, early notifications MARK ECN-capable packets instead
         #: of dropping them (RFC 3168 style; forced and overflow regions
         #: still drop).  An extension beyond the paper's 1998 setting.

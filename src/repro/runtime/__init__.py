@@ -1,0 +1,54 @@
+"""Parallel experiment runtime (DESIGN.md: the §5 grid at full speed).
+
+The paper's evaluation is a grid of *independent* simulation runs — tree
+cases × gateway disciplines × seeds × sensitivity knobs.  This package
+executes that grid as fast as the hardware allows while keeping the
+results bit-identical to a serial loop:
+
+* :class:`RunSpec` — a content-addressed description of one run
+  (entrypoint + params), with deterministic seed derivation for
+  multi-seed replication (:func:`derive_seed`, :func:`replicate`);
+* :func:`run_specs` — the executor: process-pool fan-out, per-run retry,
+  hung-pool teardown, outcomes in input order;
+* :class:`ResultCache` — on-disk cache keyed by spec content and
+  :func:`code_version`, so an unchanged spec is never re-simulated;
+* :class:`RunMetrics` / :func:`metrics_table` — what each run cost
+  (wall time, events, events/s, drops, peak queue depth).
+
+Example::
+
+    from repro.runtime import ResultCache, RunSpec, run_specs
+
+    specs = [
+        RunSpec("repro.experiments.sweeps:run_symmetric_spec",
+                {"n_receivers": n, "share_pps": 100.0, "buffer_pkts": 20,
+                 "duration": 60.0, "warmup": 20.0, "seed": 1,
+                 "gateway": "droptail"})
+        for n in (2, 4, 8, 12)
+    ]
+    outcomes = run_specs(specs, workers=4, cache=ResultCache())
+    rows = [o.result for o in outcomes]
+"""
+
+from .cache import CacheEntry, ResultCache
+from .executor import RunOutcome, default_workers, execute_spec, run_one, run_specs
+from .metrics import RunMetrics, build_metrics, extract_sim_stats, metrics_table
+from .spec import RunSpec, code_version, derive_seed, replicate
+
+__all__ = [
+    "CacheEntry",
+    "ResultCache",
+    "RunMetrics",
+    "RunOutcome",
+    "RunSpec",
+    "build_metrics",
+    "code_version",
+    "default_workers",
+    "derive_seed",
+    "execute_spec",
+    "extract_sim_stats",
+    "metrics_table",
+    "replicate",
+    "run_one",
+    "run_specs",
+]

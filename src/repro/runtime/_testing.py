@@ -1,0 +1,59 @@
+"""Entrypoints used by the runtime's own test suite.
+
+They live in the package (not under ``tests/``) because worker processes
+resolve entrypoints by import path, and the ``tests`` tree is not an
+importable package.  Each one is a tiny, dependency-free stand-in for a
+simulation run with a controllable failure mode.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+
+def echo(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Return the params, tagged with this process's pid."""
+    return {"params": dict(params), "pid": os.getpid(),
+            "sim_stats": {"events": int(params.get("events", 7)),
+                          "drops": 1, "peak_queue_depth": 2}}
+
+
+def boom(params: Dict[str, Any]) -> None:
+    """Always fail — exercises exhausted-retries reporting."""
+    raise RuntimeError(f"boom: {params.get('why', 'deliberate failure')}")
+
+
+def flaky(params: Dict[str, Any]) -> str:
+    """Fail until a marker file exists, then succeed — exercises retry.
+
+    The first attempt creates ``params['marker']`` and raises; any later
+    attempt (in any process) sees the marker and returns normally.
+    """
+    marker = params["marker"]
+    if os.path.exists(marker):
+        return "recovered"
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write("attempted")
+    raise RuntimeError("flaky: first attempt fails")
+
+
+def snooze(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Sleep ``params['seconds']`` then return — a stand-in for a run
+    whose wall time is not CPU-bound, used to measure executor overlap
+    independently of the host's core count."""
+    seconds = float(params.get("seconds", 0.5))
+    time.sleep(seconds)
+    return {"slept": seconds, "pid": os.getpid()}
+
+
+def hang(params: Dict[str, Any]) -> str:
+    """Sleep far past any test timeout — exercises hung-worker teardown.
+
+    Sleeps in short slices so a terminated process dies promptly.
+    """
+    deadline = time.monotonic() + float(params.get("seconds", 60.0))
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+    return "woke up"

@@ -1,0 +1,130 @@
+"""On-disk result cache keyed by spec content + code version.
+
+Re-running a sweep with one changed point only simulates that point: every
+other spec hashes to the same key (:meth:`RunSpec.key`), whose pickle is
+already on disk.  Keys mix in :func:`~repro.runtime.spec.code_version`,
+so editing any module under ``repro`` invalidates everything — the cache
+can never serve a result produced by different simulator code.
+
+Entries are single pickle files written atomically (temp file + rename),
+so a crashed writer never leaves a truncated entry that a later reader
+would trust; unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..errors import ConfigurationError
+from .metrics import RunMetrics
+from .spec import RunSpec, code_version
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+_DEFAULT_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached run: the spec's canonical form, its result, its cost."""
+
+    canonical: str
+    result: Any
+    metrics: RunMetrics
+
+
+class ResultCache:
+    """Pickle-per-entry cache of finished runs.
+
+    Parameters
+    ----------
+    path:
+        Cache directory, created on first write.  Defaults to
+        ``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the working
+        directory.
+    code:
+        Code-version string mixed into every key; defaults to the live
+        :func:`code_version` and only needs overriding in tests.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 code: Optional[str] = None) -> None:
+        if path is None:
+            path = os.environ.get(CACHE_DIR_ENV, _DEFAULT_DIR)
+        self.path = Path(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise ConfigurationError(
+                f"cache path {self.path} exists and is not a directory")
+        self.code = code_version() if code is None else code
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, spec: RunSpec) -> Path:
+        return self.path / f"{spec.key(self.code)}.pkl"
+
+    def get(self, spec: RunSpec) -> Optional[CacheEntry]:
+        """The cached entry for ``spec``, or ``None`` on a miss.
+
+        A key collision with a different canonical form (or a corrupt
+        pickle) counts as a miss and evicts the bad entry.
+        """
+        entry_path = self._entry_path(spec)
+        try:
+            with open(entry_path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            if entry_path.exists():
+                entry_path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if not isinstance(entry, CacheEntry) or entry.canonical != spec.canonical():
+            entry_path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, spec: RunSpec, result: Any, metrics: RunMetrics) -> None:
+        """Store a finished run atomically."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        entry = CacheEntry(canonical=spec.canonical(), result=result,
+                           metrics=metrics)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._entry_path(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._entry_path(spec).exists()
+
+    def __len__(self) -> int:
+        if not self.path.is_dir():
+            return 0
+        return sum(1 for _ in self.path.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if self.path.is_dir():
+            for entry_path in self.path.glob("*.pkl"):
+                entry_path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.path)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,218 @@
+"""The parallel executor: fan independent runs out over a process pool.
+
+Simulation runs are pure functions of their :class:`RunSpec` (every
+random draw comes from seeded streams), so executing them in worker
+processes — in any order, with any interleaving — produces byte-identical
+results to a serial loop.  That purity is what makes the three services
+here safe:
+
+* **parallelism** — ``workers`` processes execute specs concurrently;
+* **caching** — finished results are stored by content key and replayed
+  on the next identical invocation without simulating;
+* **fault handling** — a worker that raises is retried up to ``retries``
+  times; a pool that stalls past ``timeout`` seconds with no completion
+  is torn down (processes killed) and its unfinished runs retried.  A
+  run that exhausts its attempts surfaces as an error outcome (and, with
+  ``strict=True``, an exception) — never a silently missing row.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .cache import ResultCache
+from .metrics import RunMetrics, build_metrics
+from .spec import RunSpec
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one spec: its result, cost, and provenance."""
+
+    spec: RunSpec
+    result: Any
+    metrics: RunMetrics
+    cached: bool = False
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def execute_spec(spec: RunSpec) -> Tuple[Any, float]:
+    """Run one spec in the current process; returns (result, wall seconds).
+
+    This is the function worker processes execute — module-level so it
+    pickles, resolving the entrypoint by name on the worker side.
+    """
+    func = spec.resolve()
+    start = time.perf_counter()
+    result = func(dict(spec.params))
+    return result, time.perf_counter() - start
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool whose workers may be hung (terminate, don't join)."""
+    for process in getattr(pool, "_processes", {}).values():
+        try:
+            process.terminate()
+        except OSError:  # already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per core, >= 1."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    strict: bool = True,
+) -> List[RunOutcome]:
+    """Execute every spec; return outcomes in input order.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` uses one per core; ``0``/``1`` runs
+        serially in-process (no pool, no per-run timeout enforcement).
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely and
+        replay the stored result + metrics, misses are stored on success.
+    timeout:
+        Stall guard for the pool: if no run completes for this many
+        seconds, the remaining workers are presumed hung or dead, the
+        pool is killed, and the unfinished runs count one failed attempt.
+    retries:
+        How many times a failed (crashed / hung) run is re-attempted
+        after its first try.
+    strict:
+        When True (default), raise :class:`SimulationError` if any run
+        is still failing after all retries; when False, return its
+        outcome with ``error`` set and ``result=None``.
+    """
+    if retries < 0:
+        raise SimulationError(f"retries must be >= 0, got {retries}")
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    attempts = [0] * len(specs)
+    todo: List[int] = []
+
+    for index, spec in enumerate(specs):
+        entry = cache.get(spec) if cache is not None else None
+        if entry is not None:
+            outcomes[index] = RunOutcome(
+                spec=spec, result=entry.result,
+                metrics=entry.metrics.as_cached(), cached=True, attempts=0,
+            )
+        else:
+            todo.append(index)
+
+    def record_success(index: int, result: Any, wall: float) -> None:
+        spec = specs[index]
+        metrics = build_metrics(spec.describe(), wall, result,
+                                attempts=attempts[index])
+        outcomes[index] = RunOutcome(spec=spec, result=result, metrics=metrics,
+                                     attempts=attempts[index])
+        if cache is not None:
+            cache.put(spec, result, metrics)
+
+    def record_failure(index: int, message: str) -> List[int]:
+        """One failed attempt; returns [index] if it should be retried."""
+        if attempts[index] <= retries:
+            return [index]
+        spec = specs[index]
+        metrics = build_metrics(spec.describe(), 0.0, None,
+                                attempts=attempts[index], error=message)
+        outcomes[index] = RunOutcome(spec=spec, result=None, metrics=metrics,
+                                     attempts=attempts[index], error=message)
+        return []
+
+    if workers is None:
+        workers = default_workers()
+
+    if workers <= 1:
+        for index in todo:
+            while outcomes[index] is None:
+                attempts[index] += 1
+                try:
+                    result, wall = execute_spec(specs[index])
+                except Exception:
+                    record_failure(index, traceback.format_exc(limit=8))
+                else:
+                    record_success(index, result, wall)
+    else:
+        pending = todo
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            futures = {pool.submit(execute_spec, specs[index]): index
+                       for index in pending}
+            pending = []
+            waiting = set(futures)
+            hung = False
+            try:
+                while waiting:
+                    done, waiting = wait(waiting, timeout=timeout,
+                                         return_when=FIRST_COMPLETED)
+                    if not done:
+                        hung = True
+                        break
+                    for future in done:
+                        index = futures[future]
+                        attempts[index] += 1
+                        try:
+                            result, wall = future.result()
+                        except BrokenProcessPool:
+                            pending.extend(record_failure(
+                                index, "worker process died (pool broken)"))
+                        except Exception as exc:
+                            pending.extend(record_failure(
+                                index, f"{type(exc).__name__}: {exc}"))
+                        else:
+                            record_success(index, result, wall)
+            finally:
+                if hung:
+                    for future in waiting:
+                        index = futures[future]
+                        attempts[index] += 1
+                        pending.extend(record_failure(
+                            index,
+                            f"no completion within timeout={timeout}s; "
+                            f"worker presumed hung",
+                        ))
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+    final = [outcome for outcome in outcomes if outcome is not None]
+    assert len(final) == len(specs), "executor dropped a run"
+    if strict:
+        failed = [outcome for outcome in final if not outcome.ok]
+        if failed:
+            detail = "; ".join(
+                f"{outcome.spec.describe()}: {outcome.error}".splitlines()[-1]
+                for outcome in failed[:5]
+            )
+            raise SimulationError(
+                f"{len(failed)} of {len(specs)} runs failed after "
+                f"{retries + 1} attempts: {detail}"
+            )
+    return final
+
+
+def run_one(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunOutcome:
+    """Convenience: execute a single spec serially (with caching)."""
+    return run_specs([spec], workers=1, cache=cache)[0]

@@ -37,12 +37,17 @@ class Simulator:
         disabled tracer is created if omitted.
     """
 
+    #: Compact the heap once at least this many cancelled events are queued
+    #: *and* they outnumber the live ones (amortized O(log n) per event).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, seed: int = 1, trace: Optional[Tracer] = None) -> None:
         self.now: float = 0.0
         self._queue: List[Event] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled = 0
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
         #: Count of events executed so far (for benchmarking / sanity checks).
@@ -68,6 +73,7 @@ class Simulator:
                 f"cannot schedule at t={time:.9f} before now={self.now:.9f}"
             )
         event = Event(time, self._seq, callback, args, name=name)
+        event._on_cancel = self._note_cancelled
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -116,10 +122,12 @@ class Simulator:
                 event = queue[0]
                 if event.cancelled:
                     heapq.heappop(queue)
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(queue)
+                event._on_cancel = None  # left the queue; cancel() is a no-op now
                 self.now = event.time
                 event.callback(*event.args)
                 executed += 1
@@ -135,16 +143,50 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # cancelled-event bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled (called via ``Event._on_cancel``).
+
+        Keeps :meth:`pending` O(1) and compacts the heap once cancelled
+        entries dominate it, so cancel-heavy workloads (every TCP timer
+        reschedule cancels its predecessor) stay bounded in memory instead
+        of dragging dead entries along until they surface at the top.
+        """
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Safe at any point: heap order depends only on ``(time, seq)``,
+        which survives the rebuild, so the pop order of the remaining
+        live events — and therefore replay determinism — is unchanged.
+        In-place (slice assignment) because :meth:`run` holds a local
+        alias to the heap list while draining it.
+        """
+        self._queue[:] = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._queue) - self._cancelled
+
+    def queue_size(self) -> int:
+        """Physical heap size, including not-yet-compacted cancelled entries."""
+        return len(self._queue)
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         return self._queue[0].time if self._queue else None
 
     def __repr__(self) -> str:

@@ -19,7 +19,8 @@ from typing import Any, Callable, Optional, Tuple
 class Event:
     """A scheduled callback, orderable by ``(time, seq)``."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name",
+                 "_on_cancel")
 
     def __init__(
         self,
@@ -35,10 +36,19 @@ class Event:
         self.args = args
         self.cancelled = False
         self.name = name
+        #: Set by the engine at schedule time so it can keep an O(1) count
+        #: of cancelled-but-queued events (and compact the heap lazily);
+        #: cleared once the event leaves the queue.
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
     @property
     def active(self) -> bool:

@@ -64,6 +64,17 @@ def test_time_weighted_before_any_update():
     assert tw.mean() == 3.0
 
 
+def test_time_weighted_mean_rejects_backwards_now():
+    # Regression: mean(now) earlier than the last update used to produce a
+    # silent negative-area average; it must match update()'s guard.
+    tw = TimeWeighted(start_time=0.0, initial=10.0)
+    tw.update(5.0, 20.0)
+    with pytest.raises(ConfigurationError):
+        tw.mean(4.0)
+    # exactly "now == last update" stays legal
+    assert tw.mean(5.0) == pytest.approx(10.0)
+
+
 def test_histogram_binning():
     hist = Histogram(0.0, 10.0, 10)
     for value in (0.5, 1.5, 1.7, 9.9, -1.0, 10.0):
@@ -88,6 +99,26 @@ def test_histogram_quantiles():
 def test_histogram_empty_quantile():
     hist = Histogram(0.0, 1.0, 4)
     assert hist.quantile(0.5) == 0.0
+
+
+def test_histogram_quantile_zero_skips_empty_leading_bins():
+    # Regression: quantile(0.0) used to return the first bin's midpoint
+    # even when that bin was empty (running >= 0 is vacuously true).
+    hist = Histogram(0.0, 10.0, 10)
+    hist.add(7.2)
+    hist.add(7.8)
+    assert hist.quantile(0.0) == pytest.approx(7.0)  # low edge of first occupied bin
+    assert hist.quantile(1.0) == pytest.approx(7.5)  # its midpoint
+
+
+def test_histogram_quantile_zero_with_underflow_and_overflow():
+    hist = Histogram(0.0, 10.0, 10)
+    hist.add(-1.0)
+    hist.add(5.5)
+    assert hist.quantile(0.0) == 0.0  # underflow mass sits at the low edge
+    only_overflow = Histogram(0.0, 10.0, 10)
+    only_overflow.add(42.0)
+    assert only_overflow.quantile(0.0) == 10.0
 
 
 def test_histogram_validation():

@@ -1,0 +1,69 @@
+"""On-disk result cache: hits, misses, invalidation, atomicity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import ResultCache, RunMetrics, RunSpec
+
+ECHO = "repro.runtime._testing:echo"
+
+
+def _metrics(label="m"):
+    return RunMetrics(label=label, wall_time_s=0.5, events=100)
+
+
+def test_cache_path_must_be_a_directory(tmp_path):
+    not_a_dir = tmp_path / "plain-file"
+    not_a_dir.write_text("occupied")
+    with pytest.raises(ConfigurationError, match="not a directory"):
+        ResultCache(not_a_dir)
+
+
+def test_miss_then_hit_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    spec = RunSpec(ECHO, {"x": 1})
+    assert cache.get(spec) is None
+    cache.put(spec, {"answer": 42}, _metrics())
+    entry = cache.get(spec)
+    assert entry is not None
+    assert entry.result == {"answer": 42}
+    assert entry.metrics.events == 100
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert len(cache) == 1
+    assert spec in cache
+
+
+def test_different_spec_misses(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    cache.put(RunSpec(ECHO, {"x": 1}), "one", _metrics())
+    assert cache.get(RunSpec(ECHO, {"x": 2})) is None
+
+
+def test_code_version_invalidates(tmp_path):
+    spec = RunSpec(ECHO, {"x": 1})
+    ResultCache(tmp_path, code="old").put(spec, "stale", _metrics())
+    assert ResultCache(tmp_path, code="new").get(spec) is None
+
+
+def test_corrupt_entry_is_a_miss_and_evicted(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    spec = RunSpec(ECHO, {"x": 1})
+    cache.put(spec, "good", _metrics())
+    entry_path = cache._entry_path(spec)
+    entry_path.write_bytes(b"not a pickle")
+    assert cache.get(spec) is None
+    assert not entry_path.exists()
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    for x in range(3):
+        cache.put(RunSpec(ECHO, {"x": x}), x, _metrics())
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_no_stray_temp_files(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    cache.put(RunSpec(ECHO, {"x": 1}), "v", _metrics())
+    assert list(tmp_path.glob("*.tmp")) == []

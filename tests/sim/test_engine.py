@@ -128,6 +128,65 @@ def test_events_executed_counter():
     assert sim.events_executed == 3
 
 
+def test_cancel_heavy_heap_stays_compact():
+    # Regression: cancelled events used to linger until they surfaced at
+    # the heap top, and pending() was an O(n) scan.  A long cancel-heavy
+    # run (the TCP-timer pattern: schedule, cancel, reschedule) must keep
+    # the physical heap near the live-event count.
+    sim = Simulator()
+    live = [sim.schedule(1e9, lambda: None) for _ in range(5)]
+    for round_number in range(20):
+        batch = [sim.schedule(1e6 + round_number, lambda: None)
+                 for _ in range(1000)]
+        for event in batch:
+            event.cancel()
+        assert sim.pending() == len(live)
+    # far fewer than the 20_000 cancelled entries may remain
+    assert sim.queue_size() <= len(live) + 2 * Simulator.COMPACT_MIN_CANCELLED
+    assert sim.pending() == len(live)
+
+
+def test_cancel_heavy_run_replays_identically():
+    # Compaction must not disturb execution order (heap rebuild preserves
+    # the (time, seq) ordering contract).
+    def run_once():
+        sim = Simulator(seed=9)
+        order = []
+        events = []
+        for i in range(3000):
+            events.append(sim.schedule(float(i % 7) + 1.0, order.append, i))
+        for i, event in enumerate(events):
+            if i % 3:
+                event.cancel()
+        sim.run()
+        return order
+
+    assert run_once() == run_once()
+    assert len(run_once()) == 1000
+
+
+def test_cancel_after_execution_does_not_corrupt_count():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    event.cancel()        # already executed: must be a no-op
+    event.cancel()        # double-cancel: also a no-op
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_peek_updates_cancelled_count():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0
+    assert sim.pending() == 1
+    assert sim.queue_size() == 1
+
+
 def test_reentrant_run_rejected():
     sim = Simulator()
 
