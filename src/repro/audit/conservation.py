@@ -1,0 +1,335 @@
+"""Simulation-wide packet conservation auditing.
+
+The :class:`ConservationAuditor` follows every packet from construction to
+its terminal fate through a per-uid state machine:
+
+    created -> at node -> queued at a gateway -> in transit on a link
+            -> at node -> ... -> delivered | sunk | replicated | dropped
+
+Transitions are driven by the observability hooks of :mod:`repro.net`
+(packet creation, gateway enqueue/dequeue/drop, link delivery, node
+consumption), so any code path that loses, duplicates or fabricates a
+packet shows up as an impossible transition (raised immediately) or as an
+end-of-run imbalance (raised by :meth:`verify`):
+
+* **per flow** — injected == delivered + sunk + replicated + dropped
+  + in-flight;
+* **per link** — accepted == dequeued + still queued, and the set of uids
+  the auditor believes queued must equal the gateway's physical contents
+  (this is what catches a packet leaked out of — or smuggled into — a
+  queue without the hooks firing);
+* **per gateway** — counter bookkeeping must agree with physical storage.
+
+Auditing is opt-in (``audited=True`` on experiment specs, ``--audit`` on
+the CLI): the tracked state costs a dict entry per live packet and a few
+dict operations per hop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..net.link import Link
+from ..net.network import Network
+from ..net.node import Node
+from ..net.packet import Packet, install_creation_hook, uninstall_creation_hook
+from ..sim.engine import Simulator
+from .invariants import InvariantMonitor
+from .recorder import FlightRecorder
+
+#: Per-uid lifecycle states (terminal fates are counted, not stored).
+_AT_NODE = "node"
+_QUEUED = "queued"
+_TRANSIT = "transit"
+
+#: (state, link name or None, flow)
+_PacketState = Tuple[str, Optional[str], str]
+
+
+class ConservationAuditor:
+    """Enforce end-of-run packet conservation per flow and per link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: Optional[InvariantMonitor] = None,
+        recorder: Optional[FlightRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.recorder = recorder
+        self.monitor = monitor or InvariantMonitor(recorder)
+        self._attached = False
+        self._net: Optional[Network] = None
+        self._links: Dict[str, Link] = {}
+        self._where: Dict[int, _PacketState] = {}
+        self._queued_uids: Dict[str, Set[int]] = {}
+        # per-flow lifetime counters
+        self.created_by_flow: Counter = Counter()
+        self.delivered_by_flow: Counter = Counter()
+        self.sunk_by_flow: Counter = Counter()
+        self.replicated_by_flow: Counter = Counter()
+        self.dropped_by_flow: Counter = Counter()
+        # per-link counters: accepted / dropped / dequeued / delivered
+        self.link_counts: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, net: Network) -> None:
+        """Hook every gateway, link and node of ``net``; start tracking.
+
+        Attach before any traffic starts: packets already in flight would
+        surface as impossible transitions.
+        """
+        if self._attached:
+            raise RuntimeError("auditor is already attached")
+        self._attached = True
+        self._net = net
+        install_creation_hook(self._on_created)
+        for link in net.links.values():
+            self._watch_link(link)
+        for node in net.nodes.values():
+            self._watch_node(node)
+
+    def detach(self) -> None:
+        """Stop observing packet creation (other hooks die with the net)."""
+        if self._attached:
+            uninstall_creation_hook(self._on_created)
+            self._attached = False
+
+    def __enter__(self) -> "ConservationAuditor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
+
+    def _watch_link(self, link: Link) -> None:
+        name = link.name
+        self._links[name] = link
+        self._queued_uids[name] = set()
+        self.link_counts[name] = {
+            "accepted": 0, "dropped": 0, "dequeued": 0, "delivered": 0,
+        }
+        gateway = link.gateway
+        gateway.on_enqueue(
+            lambda now, packet, depth, _n=name: self._on_enqueue(_n, now, packet, depth)
+        )
+        gateway.on_drop(
+            lambda now, packet, reason, _n=name: self._on_drop(_n, now, packet, reason)
+        )
+        gateway.on_dequeue(
+            lambda now, packet, _n=name: self._on_dequeue(_n, now, packet)
+        )
+        link.on_deliver(
+            lambda now, packet, _n=name: self._on_deliver(_n, now, packet)
+        )
+
+    def _watch_node(self, node: Node) -> None:
+        node.on_consume(
+            lambda packet, outcome, _n=node.id: self._on_consume(_n, packet, outcome)
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle transitions
+    # ------------------------------------------------------------------
+    def _record(self, category: str, **fields: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.record(self.sim.now, category, **fields)
+
+    def _on_created(self, packet: Packet) -> None:
+        uid = packet.uid
+        self.monitor.require(
+            "conservation.unique_uid", uid not in self._where,
+            self.sim.now, uid=uid, flow=packet.flow,
+        )
+        self._where[uid] = (_AT_NODE, None, packet.flow)
+        self.created_by_flow[packet.flow] += 1
+
+    def _on_enqueue(self, link: str, now: float, packet: Packet, depth: int) -> None:
+        state = self._where.get(packet.uid)
+        self._record("enqueue", link=link, flow=packet.flow, seq=packet.seq,
+                     uid=packet.uid, depth=depth)
+        self.monitor.require(
+            "conservation.enqueue_from_node",
+            state is not None and state[0] == _AT_NODE,
+            now, link=link, uid=packet.uid, flow=packet.flow, state=state,
+        )
+        self._where[packet.uid] = (_QUEUED, link, packet.flow)
+        self._queued_uids[link].add(packet.uid)
+        self.link_counts[link]["accepted"] += 1
+
+    def _on_drop(self, link: str, now: float, packet: Packet, reason: str) -> None:
+        state = self._where.pop(packet.uid, None)
+        self._record("drop", link=link, flow=packet.flow, seq=packet.seq,
+                     uid=packet.uid, reason=reason)
+        # Disciplines in this simulator drop arrivals, but an evicting
+        # discipline (drop-from-front, longest-queue-drop) would legally
+        # drop a queued packet, so both pre-states are accepted.
+        self.monitor.require(
+            "conservation.drop_alive",
+            state is not None and state[0] in (_AT_NODE, _QUEUED),
+            now, link=link, uid=packet.uid, flow=packet.flow, state=state,
+        )
+        if state is not None and state[0] == _QUEUED and state[1] is not None:
+            self._queued_uids[state[1]].discard(packet.uid)
+        self.dropped_by_flow[packet.flow] += 1
+        self.link_counts[link]["dropped"] += 1
+
+    def _on_dequeue(self, link: str, now: float, packet: Packet) -> None:
+        state = self._where.get(packet.uid)
+        self.monitor.require(
+            "conservation.dequeue_from_queue",
+            state == (_QUEUED, link, packet.flow),
+            now, link=link, uid=packet.uid, flow=packet.flow, state=state,
+        )
+        self._where[packet.uid] = (_TRANSIT, link, packet.flow)
+        self._queued_uids[link].discard(packet.uid)
+        self.link_counts[link]["dequeued"] += 1
+
+    def _on_deliver(self, link: str, now: float, packet: Packet) -> None:
+        state = self._where.get(packet.uid)
+        self._record("deliver", link=link, flow=packet.flow, seq=packet.seq,
+                     uid=packet.uid)
+        # A second delivery of the same uid fails here: the packet is no
+        # longer in transit on this link (it is at a node, or terminal).
+        self.monitor.require(
+            "conservation.single_delivery",
+            state == (_TRANSIT, link, packet.flow),
+            now, link=link, uid=packet.uid, flow=packet.flow, state=state,
+        )
+        self._where[packet.uid] = (_AT_NODE, None, packet.flow)
+        self.link_counts[link]["delivered"] += 1
+
+    def _on_consume(self, node: str, packet: Packet, outcome: str) -> None:
+        now = self.sim.now
+        state = self._where.pop(packet.uid, None)
+        self._record("consume", node=node, flow=packet.flow, seq=packet.seq,
+                     uid=packet.uid, outcome=outcome)
+        self.monitor.require(
+            "conservation.consume_once",
+            state is not None and state[0] == _AT_NODE,
+            now, node=node, uid=packet.uid, flow=packet.flow,
+            outcome=outcome, state=state,
+        )
+        counter = {
+            "delivered": self.delivered_by_flow,
+            "sunk": self.sunk_by_flow,
+            "replicated": self.replicated_by_flow,
+        }.get(outcome)
+        self.monitor.require(
+            "conservation.known_outcome", counter is not None,
+            now, node=node, uid=packet.uid, outcome=outcome,
+        )
+        if counter is not None:
+            counter[packet.flow] += 1
+
+    # ------------------------------------------------------------------
+    # end-of-run verification
+    # ------------------------------------------------------------------
+    def verify(self, drained: Optional[bool] = None) -> None:
+        """Check all conservation identities; raise on the first failure.
+
+        ``drained`` overrides the engine-queue check: when the event queue
+        is empty nothing may be in flight at all; when the run stopped at
+        a time horizon, queued and in-transit packets are legitimate but
+        the tracked queue contents must still match the gateways exactly.
+        """
+        now = self.sim.now
+        monitor = self.monitor
+        transit_by_link: Counter = Counter()
+        alive_by_flow: Counter = Counter()
+        limbo: List[int] = []
+        for uid, (state, link, flow) in self._where.items():
+            alive_by_flow[flow] += 1
+            if state == _TRANSIT:
+                transit_by_link[link] += 1
+            elif state == _AT_NODE:
+                limbo.append(uid)
+
+        for name, link in sorted(self._links.items()):
+            gateway = link.gateway
+            monitor.check_gateway(name, gateway, now)
+            tracked = self._queued_uids[name]
+            physical = {packet.uid for packet in gateway.contents()}
+            monitor.require(
+                "conservation.queue_contents", tracked == physical,
+                now, link=name,
+                leaked=sorted(tracked - physical)[:5],
+                smuggled=sorted(physical - tracked)[:5],
+            )
+            counts = self.link_counts[name]
+            monitor.require(
+                "conservation.link_balance",
+                counts["accepted"] == counts["dequeued"] + len(tracked)
+                and counts["dequeued"]
+                == counts["delivered"] + transit_by_link[name],
+                now, link=name, in_queue=len(tracked),
+                in_transit=transit_by_link[name], **counts,
+            )
+
+        for flow in sorted(self.created_by_flow):
+            injected = self.created_by_flow[flow]
+            terminal = (
+                self.delivered_by_flow[flow]
+                + self.sunk_by_flow[flow]
+                + self.replicated_by_flow[flow]
+                + self.dropped_by_flow[flow]
+            )
+            monitor.require(
+                "conservation.flow_balance",
+                injected == terminal + alive_by_flow[flow],
+                now, flow=flow, injected=injected,
+                delivered=self.delivered_by_flow[flow],
+                sunk=self.sunk_by_flow[flow],
+                replicated=self.replicated_by_flow[flow],
+                dropped=self.dropped_by_flow[flow],
+                in_flight=alive_by_flow[flow],
+            )
+
+        # A packet "at a node" between events is impossible: node
+        # processing is synchronous, so anything still there leaked out of
+        # the datapath without reaching a queue, a wire, or an agent.
+        monitor.require(
+            "conservation.no_limbo", not limbo,
+            now, stuck_uids=sorted(limbo)[:5], stuck=len(limbo),
+        )
+        if drained is None:
+            drained = self.sim.pending() == 0
+        if drained:
+            monitor.require(
+                "conservation.drained_empty", not self._where,
+                now, in_flight=len(self._where),
+                uids=sorted(self._where)[:5],
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Number of packets currently alive (created, no terminal fate)."""
+        return len(self._where)
+
+    def flow_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-flow conservation ledger (for stats and JSONL export)."""
+        alive_by_flow: Counter = Counter(
+            flow for (_state, _link, flow) in self._where.values()
+        )
+        return {
+            flow: {
+                "injected": self.created_by_flow[flow],
+                "delivered": self.delivered_by_flow[flow],
+                "sunk": self.sunk_by_flow[flow],
+                "replicated": self.replicated_by_flow[flow],
+                "dropped": self.dropped_by_flow[flow],
+                "in_flight": alive_by_flow[flow],
+            }
+            for flow in sorted(self.created_by_flow)
+        }
+
+    def link_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-link accounting ledger (for stats and JSONL export)."""
+        return {
+            name: dict(counts, in_queue=len(self._queued_uids[name]))
+            for name, counts in sorted(self.link_counts.items())
+        }

@@ -1,0 +1,130 @@
+"""Cheap per-event invariant checks with structured failure reporting.
+
+An :class:`InvariantMonitor` is a registry of named checks.  Components of
+an audited run call the ``check_*`` helpers at natural checkpoints (end of
+ACK processing, end of run); each helper funnels through :meth:`require`,
+which raises a :class:`~repro.audit.violation.InvariantViolation` carrying
+the offending context and the flight recorder's dump of recent events.
+
+``strict=False`` collects violations instead of raising — useful for
+surveying a run without aborting at the first inconsistency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from .recorder import FlightRecorder
+from .violation import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..net.queue import Gateway
+    from ..rla.sender import RLASender
+    from ..tcp.sender import TcpSender
+
+
+class InvariantMonitor:
+    """Runs named boolean checks; failures become structured violations."""
+
+    def __init__(
+        self,
+        recorder: Optional[FlightRecorder] = None,
+        strict: bool = True,
+    ) -> None:
+        self.recorder = recorder
+        self.strict = strict
+        self.checks_run = 0
+        self.violations: List[InvariantViolation] = []
+
+    # ------------------------------------------------------------------
+    def require(
+        self, check: str, condition: bool, time: float = 0.0, **context: Any
+    ) -> bool:
+        """Record one check; raise (or collect) on failure.
+
+        Returns the condition so callers can guard follow-up work in
+        non-strict mode.
+        """
+        self.checks_run += 1
+        if condition:
+            return True
+        violation = InvariantViolation(
+            check,
+            time=time,
+            context=context,
+            dump=self.recorder.dump() if self.recorder is not None else "",
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+        return False
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    # ------------------------------------------------------------------
+    # domain checks (read component internals; the audit layer is the one
+    # privileged observer allowed to)
+    # ------------------------------------------------------------------
+    def check_tcp(self, sender: "TcpSender") -> None:
+        """TCP sender sanity: window bounds, pipe, sequence ordering."""
+        now = sender.sim.now
+        flow = sender.flow
+        self.require(
+            "tcp.cwnd_bounds",
+            1.0 <= sender.cwnd <= sender.config.max_cwnd,
+            now, flow=flow, cwnd=sender.cwnd, max_cwnd=sender.config.max_cwnd,
+        )
+        self.require(
+            "tcp.pipe_nonnegative", sender.pipe >= 0,
+            now, flow=flow, pipe=sender.pipe, snd_una=sender.snd_una,
+            snd_nxt=sender.snd_nxt,
+        )
+        self.require(
+            "tcp.sequence_order", sender.snd_una <= sender.snd_nxt,
+            now, flow=flow, snd_una=sender.snd_una, snd_nxt=sender.snd_nxt,
+        )
+
+    def check_rla(self, sender: "RLASender") -> None:
+        """RLA sender sanity: window bounds, reach counts, ACK ordering."""
+        now = sender.sim.now
+        flow = sender.flow
+        self.require(
+            "rla.cwnd_bounds",
+            1.0 <= sender.cwnd <= sender.config.max_cwnd,
+            now, flow=flow, cwnd=sender.cwnd, max_cwnd=sender.config.max_cwnd,
+        )
+        # A reach count at/above n_receivers means a completion was missed
+        # (counts are popped the moment the last receiver ACKs); at/below
+        # zero means a phantom ACK was counted.
+        bad = {
+            seq: count
+            for seq, count in sender._reach.items()
+            if not 0 < count < sender.n_receivers
+        }
+        self.require(
+            "rla.reach_bounds", not bad,
+            now, flow=flow, n_receivers=sender.n_receivers,
+            bad_counts=dict(sorted(bad.items())[:5]),
+        )
+        self.require(
+            "rla.sequence_order", sender.min_last_ack <= sender.snd_nxt,
+            now, flow=flow, min_last_ack=sender.min_last_ack,
+            snd_nxt=sender.snd_nxt,
+        )
+
+    def check_gateway(self, name: str, gateway: "Gateway", time: float) -> None:
+        """Gateway bookkeeping: counters must agree with physical storage."""
+        physical = len(gateway.contents())
+        self.require(
+            "gateway.depth_consistent",
+            gateway.depth == physical
+            and gateway.enqueued - gateway.dequeued == physical,
+            time, link=name, depth=gateway.depth, physical=physical,
+            enqueued=gateway.enqueued, dequeued=gateway.dequeued,
+        )
+        self.require(
+            "gateway.bytes_nonnegative", gateway.bytes_queued >= 0,
+            time, link=name, bytes_queued=gateway.bytes_queued,
+        )

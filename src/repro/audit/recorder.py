@@ -1,0 +1,72 @@
+"""A bounded ring of recent trace records for post-mortem dumps.
+
+The :class:`FlightRecorder` is the black box of an audited run: every
+audit-layer event (enqueue, drop, deliver, consume, engine events) is
+appended to a fixed-size ring, and when an invariant trips the last N
+records are formatted into the raised :class:`InvariantViolation` so the
+events leading up to the failure are visible without re-running.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..sim.events import Event
+from ..sim.trace import TraceRecord
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of ``(time, category, fields)`` records."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"non-positive recorder capacity: {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        #: Lifetime count of records seen (the ring only keeps the tail).
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        """Append one record, evicting the oldest once at capacity."""
+        self._ring.append((time, category, fields))
+        self.recorded += 1
+
+    def sink(self, record: TraceRecord) -> None:
+        """:class:`~repro.sim.trace.Tracer`-compatible sink callable."""
+        self._ring.append(record)
+        self.recorded += 1
+
+    def observe_event(self, event: Event) -> None:
+        """Engine ``event_hook`` adapter: record each executed event."""
+        self.record(event.time, "event", name=event.name or "?")
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(self, last: Optional[int] = None) -> str:
+        """Human-readable dump of the most recent ``last`` records.
+
+        Format: one record per line, ``<time>  <category>  k=v k=v ...``,
+        preceded by a header giving retained/lifetime counts.
+        """
+        records = self.records
+        if last is not None:
+            records = records[-last:]
+        header = (f"{len(records)} record(s) shown, "
+                  f"{self.recorded} recorded in total")
+        lines = [header]
+        for time, category, fields in records:
+            rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+            lines.append(f"{time:14.6f}  {category:<10s} {rendered}")
+        return "\n".join(lines)

@@ -18,7 +18,10 @@ Simulation subcommands (fig7/8/9/10, sweep) accept:
   (default directory ``$REPRO_CACHE_DIR`` or ``.repro-cache``); a second
   invocation with unchanged parameters does not re-simulate;
 * ``--metrics`` — print a per-run runtime summary (wall time, events,
-  events/s, drops, peak queue depth, cache hits).
+  events/s, drops, peak queue depth, cache hits);
+* ``--audit`` — run under the :mod:`repro.audit` conservation auditor;
+  any lost, duplicated or fabricated packet (or sender-state
+  inconsistency) aborts the run with a diagnostic.
 """
 
 from __future__ import annotations
@@ -57,6 +60,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                              ".repro-cache)")
     parser.add_argument("--metrics", action="store_true",
                         help="print the per-run runtime summary table")
+    parser.add_argument("--audit", action="store_true",
+                        help="run under the conservation auditor: track "
+                             "every packet to its terminal fate and fail "
+                             "loudly on any invariant violation")
 
 
 def _runtime_kwargs(args: argparse.Namespace, outcomes: List[Any]) -> dict:
@@ -140,6 +147,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         outcomes: List[Any] = []
         results = run_fig7(duration=args.duration, warmup=args.warmup,
                            seed=args.seed, cases=args.cases,
+                           audited=args.audit,
                            **_runtime_kwargs(args, outcomes))
         print(fig7_table(results) if args.figure == "fig7" else fig8_table(results))
         _print_metrics(args, outcomes)
@@ -148,6 +156,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         outcomes = []
         results = run_fig9(duration=args.duration, warmup=args.warmup,
                            seed=args.seed, cases=args.cases,
+                           audited=args.audit,
                            **_runtime_kwargs(args, outcomes))
         print(fig9_table(results))
         _print_metrics(args, outcomes)
@@ -156,12 +165,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         outcomes = []
         results = run_fig10(duration=args.duration, warmup=args.warmup,
                             seed=args.seed, cases=args.cases,
+                            audited=args.audit,
                             **_runtime_kwargs(args, outcomes))
         print(fig10_table(results))
         _print_metrics(args, outcomes)
     elif args.figure == "multisession":
         result = run_multisession(duration=args.duration, warmup=args.warmup,
-                                  seed=args.seed)
+                                  seed=args.seed, audited=args.audit)
         for metric, (measured, paper) in summarize(result).items():
             print(f"{metric}: measured {measured}, paper {paper}")
     elif args.figure == "sweep":
@@ -170,6 +180,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         rows = sweep_receiver_count(counts=args.counts,
                                     duration=args.duration,
                                     warmup=args.warmup, seed=args.seed,
+                                    audited=args.audit,
                                     **_runtime_kwargs(args, outcomes))
         print(format_sweep(rows, "n_receivers"))
         _print_metrics(args, outcomes)

@@ -32,6 +32,7 @@ def run_fig10(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the figure 10 cases (36 receivers, RTT-scaled listening).
 
@@ -47,6 +48,7 @@ def run_fig10(
             seed=seed,
             share_pps=share_pps,
             generalized=True,
+            audited=audited,
         )
         for case_number in cases
     }

@@ -32,12 +32,15 @@ def run_fig7(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the selected figure 7 cases; returns results keyed by case.
 
     With ``workers`` and/or ``cache`` set, the case grid fans out through
     :mod:`repro.runtime` (byte-identical results, run in parallel and
     cached on disk); otherwise the cases run serially in-process.
+    ``audited=True`` runs every case under the :mod:`repro.audit`
+    conservation auditor.
     """
     specs = {
         case_number: TreeExperimentSpec(
@@ -47,6 +50,7 @@ def run_fig7(
             warmup=warmup,
             seed=seed,
             share_pps=share_pps,
+            audited=audited,
         )
         for case_number in cases
     }

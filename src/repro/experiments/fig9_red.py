@@ -24,12 +24,13 @@ def run_fig9(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the selected figure 9 cases (RED gateways)."""
     return run_fig7(
         duration=duration, warmup=warmup, seed=seed, cases=cases,
         share_pps=share_pps, gateway="red",
-        workers=workers, cache=cache, outcomes=outcomes,
+        workers=workers, cache=cache, outcomes=outcomes, audited=audited,
     )
 
 

@@ -21,6 +21,7 @@ def run_multisession(
     seed: int = 1,
     case_number: int = 3,
     gateway: str = "droptail",
+    audited: bool = False,
 ) -> TreeExperimentResult:
     """Run the two-session experiment; ``result.rla`` has two reports."""
     spec = TreeExperimentSpec(
@@ -30,6 +31,7 @@ def run_multisession(
         warmup=warmup,
         seed=seed,
         rla_sessions=2,
+        audited=audited,
     )
     return run_tree_experiment(spec)
 

@@ -55,6 +55,11 @@ class TreeExperimentSpec:
     #: advertised window of this magnitude; without a cap, uncongested
     #: TCPs grow without bound and swamp the simulation.
     tcp_max_cwnd: float = 128.0
+    #: Run under the :mod:`repro.audit` conservation auditor: every packet
+    #: is tracked to its terminal fate, senders are sanity-checked per ACK,
+    #: and end-of-run conservation is enforced (raises
+    #: :class:`~repro.audit.InvariantViolation` on any inconsistency).
+    audited: bool = False
 
     def validate(self) -> "TreeExperimentSpec":
         if self.gateway not in ("droptail", "red"):
@@ -153,61 +158,90 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
     for gateway in gateways:
         gateway.on_enqueue(_track_depth)
 
+    # The auditor's creation hook is process-global, so it must be
+    # uninstalled even when the run raises (try/finally below); parallel
+    # audited runs are safe because the runtime fans out to processes.
+    auditor = monitor = None
+    if spec.audited:
+        from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
+
+        recorder = FlightRecorder()
+        monitor = InvariantMonitor(recorder)
+        auditor = ConservationAuditor(sim, monitor=monitor, recorder=recorder)
+        auditor.attach(net)
+        sim.event_hook = recorder.observe_event
+
     tcp_config = TcpConfig(
         packet_size=spec.packet_size, phase_jitter=jitter,
         max_cwnd=spec.tcp_max_cwnd,
     )
-    # Background TCPs run to the leaf receivers only: in figure 10 the
-    # interior G3x nodes join the multicast group but have no TCP of
-    # their own (the paper's WTCP/BTCP rows show leaf RTTs).
-    tcp_flows: Dict[str, TcpFlow] = {}
-    extra_flows: List[TcpFlow] = []
-    for receiver in info.leaves:
-        for k in range(spec.tcp_per_receiver):
-            name = flow_id("tcp", f"{receiver}.{k}")
-            flow = TcpFlow(sim, net, name, info.root, receiver, config=tcp_config)
-            flow.start(start_rng.uniform(0.0, 1.0))
-            if k == 0:
-                tcp_flows[receiver] = flow
-            else:
-                extra_flows.append(flow)
+    try:
+        # Background TCPs run to the leaf receivers only: in figure 10 the
+        # interior G3x nodes join the multicast group but have no TCP of
+        # their own (the paper's WTCP/BTCP rows show leaf RTTs).
+        tcp_flows: Dict[str, TcpFlow] = {}
+        extra_flows: List[TcpFlow] = []
+        for receiver in info.leaves:
+            for k in range(spec.tcp_per_receiver):
+                name = flow_id("tcp", f"{receiver}.{k}")
+                flow = TcpFlow(sim, net, name, info.root, receiver, config=tcp_config)
+                flow.sender.monitor = monitor
+                flow.start(start_rng.uniform(0.0, 1.0))
+                if k == 0:
+                    tcp_flows[receiver] = flow
+                else:
+                    extra_flows.append(flow)
 
-    rla_config = RLAConfig(
-        packet_size=spec.packet_size,
-        phase_jitter=jitter,
-        eta=spec.eta,
-        rexmit_thresh=spec.rexmit_thresh,
-        forced_cut_enabled=spec.forced_cut_enabled,
-        rtt_scaled_pthresh=spec.resolved_generalized(),
-    )
-    sessions = []
-    for s in range(spec.rla_sessions):
-        session = RLASession(
-            sim, net, flow_id("rla", s), info.root, receivers, config=rla_config
+        rla_config = RLAConfig(
+            packet_size=spec.packet_size,
+            phase_jitter=jitter,
+            eta=spec.eta,
+            rexmit_thresh=spec.rexmit_thresh,
+            forced_cut_enabled=spec.forced_cut_enabled,
+            rtt_scaled_pthresh=spec.resolved_generalized(),
         )
-        session.start(start_rng.uniform(0.0, 1.0))
-        sessions.append(session)
+        sessions = []
+        for s in range(spec.rla_sessions):
+            session = RLASession(
+                sim, net, flow_id("rla", s), info.root, receivers, config=rla_config
+            )
+            session.sender.monitor = monitor
+            session.start(start_rng.uniform(0.0, 1.0))
+            sessions.append(session)
 
-    sim.run(until=spec.warmup)
-    for flow in list(tcp_flows.values()) + extra_flows:
-        flow.mark()
-    for session in sessions:
-        session.mark()
-    sim.run(until=spec.warmup + spec.duration)
+        sim.run(until=spec.warmup)
+        for flow in list(tcp_flows.values()) + extra_flows:
+            flow.mark()
+        for session in sessions:
+            session.mark()
+        sim.run(until=spec.warmup + spec.duration)
 
-    return TreeExperimentResult(
-        spec=spec,
-        rla=[session.report() for session in sessions],
-        tcp={receiver: flow.report() for receiver, flow in tcp_flows.items()},
-        tiers=congestion_tiers(case, info, receivers),
-        receivers=receivers,
-        stats={
+        stats: Dict[str, float] = {
             "events": sim.events_executed,
             "drops": sum(gateway.dropped for gateway in gateways),
             "peak_queue_depth": peak_depth[0],
             "sim_time": sim.now,
-        },
-    )
+        }
+        if auditor is not None:
+            for flow in list(tcp_flows.values()) + extra_flows:
+                monitor.check_tcp(flow.sender)
+            for session in sessions:
+                monitor.check_rla(session.sender)
+            auditor.verify()
+            stats["audit_checks"] = monitor.checks_run
+            stats["violations"] = monitor.violation_count
+        return TreeExperimentResult(
+            spec=spec,
+            rla=[session.report() for session in sessions],
+            tcp={receiver: flow.report() for receiver, flow in tcp_flows.items()},
+            tiers=congestion_tiers(case, info, receivers),
+            receivers=receivers,
+            stats=stats,
+        )
+    finally:
+        if auditor is not None:
+            auditor.detach()
+            sim.event_hook = None
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,7 @@ def _run_symmetric(
     warmup: float,
     seed: int,
     gateway: str,
+    audited: bool = False,
 ) -> Dict[str, float]:
     """One symmetric run: n branches at (1 TCP + RLA) * share each."""
     mu = 2 * share_pps  # 1 TCP + the multicast session per branch
@@ -60,50 +61,74 @@ def _run_symmetric(
     gateways = [link.gateway for link in net.links.values()]
     for gw in gateways:
         gw.on_enqueue(_track_depth)
+    auditor = monitor = None
+    if audited:
+        from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
+
+        recorder = FlightRecorder()
+        monitor = InvariantMonitor(recorder)
+        auditor = ConservationAuditor(sim, monitor=monitor, recorder=recorder)
+        auditor.attach(net)
+        sim.event_hook = recorder.observe_event
     jitter = (transmission_time(spec.packet_size, pps_to_bps(mu))
               if gateway == "droptail" else None)
-    flows: List[TcpFlow] = []
-    for index, receiver in enumerate(receivers):
-        flow = TcpFlow(sim, net, f"tcp-{index}", "S", receiver,
-                       config=TcpConfig(phase_jitter=jitter))
-        flow.start(0.1 * index)
-        flows.append(flow)
-    session = RLASession(sim, net, "rla-0", "S", receivers,
-                         config=RLAConfig(phase_jitter=jitter))
-    session.start(0.05)
-    sim.run(until=warmup)
-    session.mark()
-    for flow in flows:
-        flow.mark()
-    sim.run(until=warmup + duration)
-    rla = session.report()
-    tcp_rates = [flow.report()["throughput_pps"] for flow in flows]
-    wtcp = min(tcp_rates)
-    n = max(rla["num_trouble"], 1)
-    verdict = check_essential_fairness(
-        max(rla["throughput_pps"], 1e-9), max(wtcp, 1e-9), n, gateway
-    )
-    return {
-        "n_receivers": n_receivers,
-        "share_pps": share_pps,
-        "buffer_pkts": buffer_pkts,
-        "rla_pps": rla["throughput_pps"],
-        "rla_cwnd": rla["mean_cwnd"],
-        "wtcp_pps": wtcp,
-        "ratio": verdict.ratio,
-        "fair": verdict.fair,
-        "lower": verdict.lower,
-        "upper": verdict.upper,
-        "num_trouble": n,
-        "window_cuts": rla["window_cuts"],
-        "signals": rla["congestion_signals"],
-        "sim_stats": {
+    try:
+        flows: List[TcpFlow] = []
+        for index, receiver in enumerate(receivers):
+            flow = TcpFlow(sim, net, f"tcp-{index}", "S", receiver,
+                           config=TcpConfig(phase_jitter=jitter))
+            flow.sender.monitor = monitor
+            flow.start(0.1 * index)
+            flows.append(flow)
+        session = RLASession(sim, net, "rla-0", "S", receivers,
+                             config=RLAConfig(phase_jitter=jitter))
+        session.sender.monitor = monitor
+        session.start(0.05)
+        sim.run(until=warmup)
+        session.mark()
+        for flow in flows:
+            flow.mark()
+        sim.run(until=warmup + duration)
+        rla = session.report()
+        tcp_rates = [flow.report()["throughput_pps"] for flow in flows]
+        wtcp = min(tcp_rates)
+        n = max(rla["num_trouble"], 1)
+        verdict = check_essential_fairness(
+            max(rla["throughput_pps"], 1e-9), max(wtcp, 1e-9), n, gateway
+        )
+        sim_stats: Dict[str, float] = {
             "events": sim.events_executed,
             "drops": sum(gw.dropped for gw in gateways),
             "peak_queue_depth": peak_depth[0],
             "sim_time": sim.now,
-        },
-    }
+        }
+        if auditor is not None:
+            for flow in flows:
+                monitor.check_tcp(flow.sender)
+            monitor.check_rla(session.sender)
+            auditor.verify()
+            sim_stats["audit_checks"] = monitor.checks_run
+            sim_stats["violations"] = monitor.violation_count
+        return {
+            "n_receivers": n_receivers,
+            "share_pps": share_pps,
+            "buffer_pkts": buffer_pkts,
+            "rla_pps": rla["throughput_pps"],
+            "rla_cwnd": rla["mean_cwnd"],
+            "wtcp_pps": wtcp,
+            "ratio": verdict.ratio,
+            "fair": verdict.fair,
+            "lower": verdict.lower,
+            "upper": verdict.upper,
+            "num_trouble": n,
+            "window_cuts": rla["window_cuts"],
+            "signals": rla["congestion_signals"],
+            "sim_stats": sim_stats,
+        }
+    finally:
+        if auditor is not None:
+            auditor.detach()
+            sim.event_hook = None
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +148,7 @@ def run_symmetric_spec(params: Dict[str, Any]) -> Dict[str, float]:
         warmup=float(params["warmup"]),
         seed=int(params["seed"]),
         gateway=str(params["gateway"]),
+        audited=bool(params.get("audited", False)),
     )
 
 
@@ -164,11 +190,13 @@ def sweep_receiver_count(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> List[Dict[str, float]]:
     """Fairness ratio as the receiver population grows."""
     points = [
         dict(n_receivers=n, share_pps=share_pps, buffer_pkts=20,
-             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway,
+             **({"audited": True} if audited else {}))
         for n in counts
     ]
     return _run_points(points, "n_receivers", workers, cache, outcomes)
@@ -185,11 +213,13 @@ def sweep_buffer_size(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> List[Dict[str, float]]:
     """Fairness ratio across gateway buffer sizes."""
     points = [
         dict(n_receivers=n_receivers, share_pps=share_pps, buffer_pkts=buffer,
-             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway,
+             **({"audited": True} if audited else {}))
         for buffer in buffers
     ]
     return _run_points(points, "buffer_pkts", workers, cache, outcomes)
@@ -205,11 +235,13 @@ def sweep_share(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    audited: bool = False,
 ) -> List[Dict[str, float]]:
     """Fairness ratio across absolute bottleneck speeds."""
     points = [
         dict(n_receivers=n_receivers, share_pps=share, buffer_pkts=20,
-             duration=duration, warmup=warmup, seed=seed, gateway=gateway)
+             duration=duration, warmup=warmup, seed=seed, gateway=gateway,
+             **({"audited": True} if audited else {}))
         for share in shares
     ]
     return _run_points(points, "share_pps", workers, cache, outcomes)

@@ -11,11 +11,11 @@ repair machinery) — the failure-injection tests drive exactly that.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
 from .packet import Packet
-from .queue import Gateway
+from .queue import DequeueHook, EnqueueHook, Gateway
 
 
 class RandomDropQueue(Gateway):
@@ -55,6 +55,19 @@ class RandomDropQueue(Gateway):
         if packet is not None:
             self.dequeued += 1
         return packet
+
+    # Storage lives in the inner gateway, so observers of arrivals and
+    # removals must be registered where `_accept`/`dequeue` actually run.
+    # Drop hooks stay on this wrapper: it is the single place that sees
+    # every loss (random and overflow) exactly once.
+    def on_enqueue(self, hook: EnqueueHook) -> None:
+        self.inner.on_enqueue(hook)
+
+    def on_dequeue(self, hook: DequeueHook) -> None:
+        self.inner.on_dequeue(hook)
+
+    def contents(self) -> Tuple[Packet, ...]:
+        return self.inner.contents()
 
     def __len__(self) -> int:
         return len(self.inner)

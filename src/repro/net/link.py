@@ -9,7 +9,7 @@ spends ``delay`` seconds propagating, then arrives at the downstream node.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..units import DEFAULT_PACKET_SIZE, transmission_time
@@ -19,6 +19,8 @@ from .queue import Gateway
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .node import Node
+
+DeliverHook = Callable[[float, Packet], None]
 
 
 class Link:
@@ -46,13 +48,25 @@ class Link:
         self.delay_s = delay_s
         self.gateway = gateway
         self._busy = False
+        self._tx_start = 0.0
+        self._tx_size = 0
         # lifetime statistics
         self.packets_sent = 0
         self.bytes_sent = 0
+        self._deliver_hooks: List[DeliverHook] = []
         # Let RED age its average by the typical (1000-byte) service time.
         gateway.mean_pkt_time = transmission_time(DEFAULT_PACKET_SIZE, bandwidth_bps)
 
     # ------------------------------------------------------------------
+    def on_deliver(self, hook: DeliverHook) -> None:
+        """Register ``hook(now, packet)`` to observe downstream arrivals.
+
+        Hooks fire after propagation, just before the destination node's
+        ``receive``.  Register before traffic starts: packets already
+        propagating when the first hook is added are delivered unobserved.
+        """
+        self._deliver_hooks.append(hook)
+
     def send(self, packet: Packet) -> None:
         """Entry point used by the upstream node's forwarding logic."""
         accepted = self.gateway.enqueue(self.sim.now, packet)
@@ -65,16 +79,24 @@ class Link:
             self._busy = False
             return
         self._busy = True
+        self._tx_start = self.sim.now
+        self._tx_size = packet.size
         tx = transmission_time(packet.size, self.bandwidth_bps)
         self.sim.schedule_after(tx, self._transmission_done, packet, name=f"{self.name}.tx")
 
     def _transmission_done(self, packet: Packet) -> None:
         self.packets_sent += 1
         self.bytes_sent += packet.size
+        receive = self._arrive if self._deliver_hooks else self.dst.receive
         self.sim.schedule_after(
-            self.delay_s, self.dst.receive, packet, name=f"{self.name}.rx"
+            self.delay_s, receive, packet, name=f"{self.name}.rx"
         )
         self._serve_next()
+
+    def _arrive(self, packet: Packet) -> None:
+        for hook in self._deliver_hooks:
+            hook(self.sim.now, packet)
+        self.dst.receive(packet)
 
     # ------------------------------------------------------------------
     @property
@@ -83,10 +105,19 @@ class Link:
         return self._busy
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` seconds spent transmitting bits."""
+        """Fraction of ``elapsed`` seconds spent transmitting bits.
+
+        ``bytes_sent`` is credited at serialization *end*, so the packet
+        currently in service would be invisible to short measurement
+        windows; its already-serialized fraction is added at read time.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, (self.bytes_sent * 8) / (self.bandwidth_bps * elapsed))
+        bits = self.bytes_sent * 8.0
+        if self._busy:
+            progress = max(0.0, self.sim.now - self._tx_start)
+            bits += min(self._tx_size * 8.0, self.bandwidth_bps * progress)
+        return min(1.0, bits / (self.bandwidth_bps * elapsed))
 
     def __repr__(self) -> str:
         return (

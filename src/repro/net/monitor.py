@@ -2,9 +2,11 @@
 
 :class:`QueueMonitor` observes one gateway: per-flow drop counts, a drop
 event log, and a time-weighted average queue depth (updated lazily at each
-enqueue/drop observation, plus an explicit :meth:`finish` at the end of a
-run).  The experiments use these to verify buffer-period behaviour (§3.1)
-and to report loss rates per branch.
+enqueue/dequeue/drop observation and folded forward at each read, so the
+statistics are correct with or without an explicit :meth:`finish`).  The
+experiments use these to verify buffer-period behaviour (§3.1) and to
+report loss rates per branch; ``sample_depth=True`` additionally keeps a
+(time, depth) series for the audit layer's JSONL exporter.
 """
 
 from __future__ import annotations
@@ -22,13 +24,22 @@ DropEvent = Tuple[float, str, int, str]  # (time, flow, seq, reason)
 class QueueMonitor:
     """Attach to a gateway and accumulate occupancy/drop statistics."""
 
-    def __init__(self, sim: Simulator, gateway: Gateway, log_drops: bool = False) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: Gateway,
+        log_drops: bool = False,
+        sample_depth: bool = False,
+    ) -> None:
         self.sim = sim
         self.gateway = gateway
         self.log_drops = log_drops
+        self.sample_depth = sample_depth
         self.drops_by_flow: Counter = Counter()
         self.enqueues_by_flow: Counter = Counter()
         self.drop_log: List[DropEvent] = []
+        #: (time, depth) at each observed depth change (when sample_depth)
+        self.depth_samples: List[Tuple[float, int]] = []
         self._last_time = sim.now
         self._last_depth = gateway.depth
         self._area = 0.0  # integral of depth over time
@@ -36,13 +47,17 @@ class QueueMonitor:
         self._start = sim.now
         gateway.on_drop(self._observe_drop)
         gateway.on_enqueue(self._observe_enqueue)
+        gateway.on_dequeue(self._observe_dequeue)
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
         now = self.sim.now
         self._area += self._last_depth * (now - self._last_time)
         self._last_time = now
-        self._last_depth = self.gateway.depth
+        depth = self.gateway.depth
+        if self.sample_depth and depth != self._last_depth:
+            self.depth_samples.append((now, depth))
+        self._last_depth = depth
         if self._last_depth > self._max_depth:
             self._max_depth = self._last_depth
 
@@ -56,6 +71,9 @@ class QueueMonitor:
         self._advance()
         self.enqueues_by_flow[packet.flow] += 1
 
+    def _observe_dequeue(self, now: float, packet: Packet) -> None:
+        self._advance()
+
     # ------------------------------------------------------------------
     def finish(self) -> None:
         """Fold in the time since the last observation (call at run end)."""
@@ -68,11 +86,18 @@ class QueueMonitor:
 
     @property
     def max_depth(self) -> int:
-        """Largest queue depth observed."""
+        """Largest queue depth observed (folds in time since last event)."""
+        self._advance()
         return self._max_depth
 
     def mean_depth(self) -> float:
-        """Time-weighted average queue depth since attachment."""
+        """Time-weighted average queue depth since attachment.
+
+        Reads fold the idle tail in themselves (``_advance``), so the
+        value is correct even without an explicit :meth:`finish` after the
+        last enqueue/drop.
+        """
+        self._advance()
         elapsed = self._last_time - self._start
         if elapsed <= 0:
             return float(self._last_depth)

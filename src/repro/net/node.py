@@ -20,6 +20,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Handler = Callable[[Packet], None]
 
+#: Observer of packets that end their life at this node; ``outcome`` is
+#: "delivered" (handed to a bound agent), "sunk" (no agent / no multicast
+#: branch: silently discarded) or "replicated" (original consumed after
+#: multicast fan-out made per-branch copies).
+ConsumeHook = Callable[[Packet, str], None]
+
 
 class Node:
     """A network node with static unicast routes and multicast fan-out."""
@@ -34,6 +40,7 @@ class Node:
         self.memberships: Dict[str, bool] = {}
         #: flow-id -> transport agent handler
         self._agents: Dict[str, Handler] = {}
+        self._consume_hooks: List[ConsumeHook] = []
         self.packets_received = 0
         self.packets_forwarded = 0
 
@@ -64,6 +71,14 @@ class Node:
         """Mark this node as a local member of ``group``."""
         self.memberships[group] = True
 
+    def on_consume(self, hook: ConsumeHook) -> None:
+        """Register ``hook(packet, outcome)`` for packets that die here."""
+        self._consume_hooks.append(hook)
+
+    def _notify_consume(self, packet: Packet, outcome: str) -> None:
+        for hook in self._consume_hooks:
+            hook(packet, outcome)
+
     # ------------------------------------------------------------------
     # datapath
     # ------------------------------------------------------------------
@@ -79,11 +94,17 @@ class Node:
             self._forward_unicast(packet)
 
     def _receive_multicast(self, packet: Packet) -> None:
-        if self.memberships.get(packet.dst):
+        delivered_locally = self.memberships.get(packet.dst, False)
+        if delivered_locally:
             self._deliver(packet)
-        for link in self.mcast_routes.get(packet.dst, ()):
+        branches = self.mcast_routes.get(packet.dst, ())
+        for link in branches:
             self.packets_forwarded += 1
             link.send(packet.copy())
+        if not delivered_locally and self._consume_hooks:
+            # The original is consumed here: either replaced by per-branch
+            # copies, or (no members, no branches) silently discarded.
+            self._notify_consume(packet, "replicated" if branches else "sunk")
 
     def _forward_unicast(self, packet: Packet) -> None:
         link = self.routes.get(packet.dst)
@@ -97,7 +118,11 @@ class Node:
         if handler is None:
             # Transit flows with no agent here are silently sunk, matching
             # NS2 behaviour for traffic addressed to an unbound port.
+            if self._consume_hooks:
+                self._notify_consume(packet, "sunk")
             return
+        if self._consume_hooks:
+            self._notify_consume(packet, "delivered")
         handler(packet)
 
     # ------------------------------------------------------------------

@@ -13,12 +13,37 @@ per-packet table (the same trick as TCP's timestamp option).
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 DATA = "DATA"
 ACK = "ACK"
 
 _uid_counter = itertools.count(1)
+
+#: Process-wide observer of packet construction (``repro.audit`` installs
+#: one to enforce conservation).  A module global rather than per-instance
+#: state because packets are created in many places (senders, receivers,
+#: multicast replication) and the hot path must stay a single ``None``
+#: check when auditing is off.  Not thread-safe; one auditor at a time.
+_creation_hook: Optional[Callable[["Packet"], None]] = None
+
+
+def install_creation_hook(hook: Callable[["Packet"], None]) -> None:
+    """Observe every subsequently constructed packet (including copies)."""
+    global _creation_hook
+    if _creation_hook is not None:
+        raise RuntimeError("a packet creation hook is already installed")
+    _creation_hook = hook
+
+
+def uninstall_creation_hook(hook: Callable[["Packet"], None]) -> None:
+    """Remove a hook installed by :func:`install_creation_hook` (no-op if
+    another hook has since replaced it).  Equality, not identity: bound
+    methods are recreated on each attribute access, so ``obj.method``
+    passed here never *is* the object passed to install."""
+    global _creation_hook
+    if _creation_hook == hook:
+        _creation_hook = None
 
 #: Type of a SACK block: a half-open sequence range [start, end).
 SackBlock = Tuple[int, int]
@@ -86,6 +111,8 @@ class Packet:
         self.ce = False
         #: echo of CE back to the sender (set on ACKs by receivers)
         self.ece = False
+        if _creation_hook is not None:
+            _creation_hook(self)
 
     def copy(self) -> "Packet":
         """A fresh packet (new uid) with identical header fields.

@@ -12,12 +12,13 @@ Concrete disciplines: :class:`repro.net.droptail.DropTailQueue` and
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .packet import Packet
 
 DropHook = Callable[[float, Packet, str], None]
 EnqueueHook = Callable[[float, Packet, int], None]
+DequeueHook = Callable[[float, Packet], None]
 
 
 class Gateway:
@@ -38,6 +39,7 @@ class Gateway:
         self.dequeued = 0
         self._drop_hooks: List[DropHook] = []
         self._enqueue_hooks: List[EnqueueHook] = []
+        self._dequeue_hooks: List[DequeueHook] = []
         #: Mean packet service time on the attached link; set by the link at
         #: attach time.  RED needs it to age the average queue across idle
         #: periods; other disciplines may ignore it.
@@ -52,10 +54,18 @@ class Gateway:
         """Register ``hook(now, packet, depth_after)`` to observe arrivals."""
         self._enqueue_hooks.append(hook)
 
+    def on_dequeue(self, hook: DequeueHook) -> None:
+        """Register ``hook(now, packet)`` to observe head-of-line removals."""
+        self._dequeue_hooks.append(hook)
+
     def _notify_drop(self, now: float, packet: Packet, reason: str) -> None:
         self.dropped += 1
         for hook in self._drop_hooks:
             hook(now, packet, reason)
+
+    def _notify_dequeue(self, now: float, packet: Packet) -> None:
+        for hook in self._dequeue_hooks:
+            hook(now, packet)
 
     def _accept(self, now: float, packet: Packet) -> None:
         self._queue.append(packet)
@@ -77,9 +87,15 @@ class Gateway:
         packet = self._queue.popleft()
         self.bytes_queued -= packet.size
         self.dequeued += 1
+        if self._dequeue_hooks:
+            self._notify_dequeue(now, packet)
         return packet
 
     # -- introspection ---------------------------------------------------
+    def contents(self) -> Tuple[Packet, ...]:
+        """Snapshot of the queued packets, head first (for auditors)."""
+        return tuple(self._queue)
+
     def __len__(self) -> int:
         return len(self._queue)
 

@@ -88,6 +88,10 @@ class RLASender:
         self._listen_rng = sim.rng.stream(f"{flow}.listen")
         self._jitter_rng = sim.rng.stream(f"{flow}.jitter")
         self._started = False
+        #: Optional audit hook: audited runs point this at an
+        #: ``InvariantMonitor`` and every processed ACK is sanity-checked
+        #: (window bounds, reach counts, ACK ordering).
+        self.monitor = None
 
         # lifetime statistics
         self.packets_sent = 0
@@ -173,6 +177,8 @@ class RLASender:
 
         self._all_ack_timer.start(self._rto())
         self._try_send()
+        if self.monitor is not None:
+            self.monitor.check_rla(self)
 
     def _count_reach(self, seq: int) -> None:
         count = self._reach.get(seq, 0) + 1
@@ -218,6 +224,12 @@ class RLASender:
             raise ConfigurationError("cannot remove the last receiver")
         self.n_receivers -= 1
         self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+        # Purge pending retransmit requests from the departed receiver: a
+        # decision timer armed before the ejection would otherwise look its
+        # id up in ``receivers`` and crash (or, worse, repair for a member
+        # that left).  Empty requester sets are left for the timer to pop.
+        for requesters in self._rtx_requests.values():
+            requesters.discard(receiver_id)
         # Old reach counts may include the departed receiver's ACKs, so
         # recompute completion for every pending packet from the remaining
         # receivers' actual state.
@@ -328,7 +340,13 @@ class RLASender:
     def _decide_retransmit(self, seq: int) -> None:
         self._rtx_scheduled.discard(seq)
         requesters = self._rtx_requests.pop(seq, set())
-        missing = [rid for rid in requesters if not self.receivers[rid].has(seq)]
+        # ``.get``: a requester may have been ejected between its request
+        # and this timer firing; ejected receivers need no repair.
+        missing = [
+            rid for rid in requesters
+            if (state := self.receivers.get(rid)) is not None
+            and not state.has(seq)
+        ]
         if not missing:
             return
         self._send_repair(seq, missing)

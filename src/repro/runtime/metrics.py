@@ -24,6 +24,11 @@ class RunMetrics:
     attempts: int = 1
     cached: bool = False
     error: Optional[str] = None
+    #: Invariant checks the audit layer ran (0 for un-audited runs).
+    audit_checks: int = 0
+    #: Audit violations: ``None`` = run was not audited.  An audited run
+    #: that completes has 0 (strict auditing aborts on the first one).
+    violations: Optional[int] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -71,23 +76,28 @@ def build_metrics(
         attempts=attempts,
         cached=cached,
         error=error,
+        audit_checks=int(stats.get("audit_checks", 0)),
+        violations=(int(stats["violations"])
+                    if "violations" in stats else None),
     )
 
 
 def metrics_table(metrics: List[RunMetrics], title: str = "runtime summary") -> str:
     """Fixed-width text table of per-run metrics plus a totals row."""
     header = (f"{'run':<40s} {'wall s':>8s} {'events':>10s} {'ev/s':>10s} "
-              f"{'drops':>7s} {'peakQ':>5s} {'tries':>5s} {'src':>6s}")
+              f"{'drops':>7s} {'peakQ':>5s} {'viol':>4s} {'tries':>5s} "
+              f"{'src':>6s}")
     lines = [title, header, "-" * len(header)]
     total_wall = 0.0
     total_events = 0
     for m in metrics:
         source = "error" if m.error else ("cache" if m.cached else "run")
         label = m.label if len(m.label) <= 40 else m.label[:37] + "..."
+        violations = "-" if m.violations is None else str(m.violations)
         lines.append(
             f"{label:<40s} {m.wall_time_s:>8.2f} {m.events:>10d} "
             f"{m.events_per_sec:>10.0f} {m.drops:>7d} {m.peak_queue_depth:>5d} "
-            f"{m.attempts:>5d} {source:>6s}"
+            f"{violations:>4s} {m.attempts:>5d} {source:>6s}"
         )
         if not m.cached and not m.error:
             total_wall += m.wall_time_s

@@ -50,6 +50,11 @@ class Simulator:
         self._cancelled = 0
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
+        #: Optional observer called with each :class:`Event` just before it
+        #: executes.  The audit layer's flight recorder uses this to keep
+        #: the recent event stream; ``None`` (the default) costs one
+        #: attribute check per event.
+        self.event_hook: Optional[Callable[[Event], None]] = None
         #: Count of events executed so far (for benchmarking / sanity checks).
         self.events_executed = 0
 
@@ -129,6 +134,8 @@ class Simulator:
                 heapq.heappop(queue)
                 event._on_cancel = None  # left the queue; cancel() is a no-op now
                 self.now = event.time
+                if self.event_hook is not None:
+                    self.event_hook(event)
                 event.callback(*event.args)
                 executed += 1
         finally:

@@ -9,23 +9,37 @@ affordable.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 TraceRecord = Tuple[float, str, Dict[str, Any]]
 
+#: Default retention when a sink is attached: enough context for
+#: ``select()`` assertions without letting a streamed run grow unbounded.
+SINK_TEE_RECORDS = 4096
+
 
 class Tracer:
-    """Collects structured trace records, optionally filtered by category."""
+    """Collects structured trace records, optionally filtered by category.
+
+    With a ``sink`` attached every record is *teed*: forwarded to the sink
+    and kept in :attr:`records` (bounded to ``max_records``, defaulting to
+    :data:`SINK_TEE_RECORDS`), so ``select()`` and ``len()`` keep working
+    on streaming tracers instead of silently returning nothing.
+    """
 
     def __init__(
         self,
         enabled: bool = True,
         categories: Optional[Iterable[str]] = None,
         sink: Optional[Callable[[TraceRecord], None]] = None,
+        max_records: Optional[int] = None,
     ) -> None:
         self.enabled = enabled
         self.categories = set(categories) if categories is not None else None
-        self.records: List[TraceRecord] = []
+        if max_records is None and sink is not None:
+            max_records = SINK_TEE_RECORDS
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._sink = sink
 
     def emit(self, time: float, category: str, **fields: Any) -> None:
@@ -35,10 +49,9 @@ class Tracer:
         if self.categories is not None and category not in self.categories:
             return
         record = (time, category, fields)
+        self.records.append(record)
         if self._sink is not None:
             self._sink(record)
-        else:
-            self.records.append(record)
 
     def select(self, category: str) -> List[TraceRecord]:
         """All stored records of the given category."""

@@ -60,6 +60,10 @@ class TcpSender:
         self._jitter_rng = sim.rng.stream(f"{flow}.jitter")
         self._started = False
         self.finished = False
+        #: Optional audit hook: audited runs point this at an
+        #: ``InvariantMonitor`` and every processed ACK is sanity-checked
+        #: (window bounds, pipe >= 0, sequence ordering).
+        self.monitor = None
 
         # lifetime statistics (experiments snapshot-diff these)
         self.packets_sent = 0
@@ -140,6 +144,8 @@ class TcpSender:
             self._restart_rto()
 
         self._detect_losses()
+        if self.monitor is not None:
+            self.monitor.check_tcp(self)
         if self.finished:
             return
         if self.limit is not None and board.snd_una >= self.limit and self.pipe <= 0:

@@ -1,0 +1,79 @@
+"""JSONL exporter: row typing, determinism, round-trip loading."""
+
+import json
+
+from repro.audit import ConservationAuditor, export_run, load_rows
+from repro.net.monitor import QueueMonitor
+from repro.sim.trace import Tracer
+from repro.tcp.flow import TcpFlow
+
+
+def _audited_run(sim, net):
+    auditor = ConservationAuditor(sim)
+    auditor.attach(net)
+    monitor = QueueMonitor(sim, net.links[("A", "B")].gateway,
+                           log_drops=True, sample_depth=True)
+    flow = TcpFlow(sim, net, "tcp-0", "A", "B", limit=30)
+    flow.start()
+    sim.run()
+    auditor.verify()
+    auditor.detach()
+    return auditor, monitor
+
+
+def test_export_writes_typed_rows(tmp_path, sim, two_node_net):
+    auditor, monitor = _audited_run(sim, two_node_net)
+    tracer = Tracer()
+    tracer.emit(1.0, "drop", flow="tcp-0", reason="overflow")
+    out = tmp_path / "run.jsonl"
+    rows_written = export_run(
+        out,
+        meta={"experiment": "unit", "seed": 42},
+        tracer=tracer,
+        monitors={"A->B": monitor},
+        auditor=auditor,
+    )
+    rows = load_rows(out)
+    assert len(rows) == rows_written
+    assert rows[0] == {"type": "meta", "experiment": "unit", "seed": 42}
+    types = {row["type"] for row in rows}
+    assert {"meta", "trace", "queue_depth", "queue_summary",
+            "flow_conservation", "link_conservation"} <= types
+
+
+def test_flow_conservation_rows_balance(tmp_path, sim, two_node_net):
+    auditor, monitor = _audited_run(sim, two_node_net)
+    out = tmp_path / "run.jsonl"
+    export_run(out, auditor=auditor)
+    (flow_row,) = load_rows(out, type_filter="flow_conservation")
+    assert flow_row["flow"] == "tcp-0"
+    assert flow_row["injected"] == (
+        flow_row["delivered"] + flow_row["sunk"] + flow_row["replicated"]
+        + flow_row["dropped"] + flow_row["in_flight"]
+    )
+    link_rows = load_rows(out, type_filter="link_conservation")
+    assert {row["link"] for row in link_rows} == {"A->B", "B->A"}
+    for row in link_rows:
+        assert row["accepted"] == row["dequeued"] + row["in_queue"]
+
+
+def test_queue_depth_series_is_monotone_in_time(tmp_path, sim, two_node_net):
+    _auditor, monitor = _audited_run(sim, two_node_net)
+    out = tmp_path / "run.jsonl"
+    export_run(out, monitors={"A->B": monitor})
+    depth_rows = load_rows(out, type_filter="queue_depth")
+    assert depth_rows, "expected at least one depth change on the bottleneck"
+    times = [row["t"] for row in depth_rows]
+    assert times == sorted(times)
+    (summary,) = load_rows(out, type_filter="queue_summary")
+    assert summary["max_depth"] >= max(row["depth"] for row in depth_rows)
+
+
+def test_export_is_deterministic_and_one_object_per_line(tmp_path, sim, two_node_net):
+    auditor, monitor = _audited_run(sim, two_node_net)
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    export_run(a, auditor=auditor, monitors={"A->B": monitor})
+    export_run(b, auditor=auditor, monitors={"A->B": monitor})
+    assert a.read_bytes() == b.read_bytes()
+    for line in a.read_text().splitlines():
+        json.loads(line)  # every line is standalone JSON

@@ -1,0 +1,71 @@
+"""Flight recorder: bounded ring, dump formatting, tracer compatibility."""
+
+import pytest
+
+from repro.audit import FlightRecorder
+from repro.sim.events import Event
+from repro.sim.trace import Tracer
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_records_oldest_first():
+    recorder = FlightRecorder(capacity=4)
+    for i in range(3):
+        recorder.record(float(i), "tick", i=i)
+    assert [fields["i"] for _, _, fields in recorder.records] == [0, 1, 2]
+    assert len(recorder) == 3
+
+
+def test_ring_evicts_oldest_but_counts_lifetime():
+    recorder = FlightRecorder(capacity=8)
+    for i in range(100):
+        recorder.record(float(i), "tick", i=i)
+    assert len(recorder) == 8
+    assert recorder.recorded == 100
+    assert recorder.records[0][2]["i"] == 92
+
+
+def test_dump_mentions_counts_and_fields():
+    recorder = FlightRecorder(capacity=4)
+    recorder.record(1.5, "drop", flow="tcp-0", reason="overflow")
+    dump = recorder.dump()
+    assert "1 record(s) shown, 1 recorded in total" in dump
+    assert "drop" in dump
+    assert "flow=tcp-0" in dump
+    assert "reason=overflow" in dump
+
+
+def test_dump_last_limits_lines():
+    recorder = FlightRecorder(capacity=16)
+    for i in range(10):
+        recorder.record(float(i), "tick", i=i)
+    dump = recorder.dump(last=2)
+    assert "2 record(s) shown, 10 recorded in total" in dump
+    assert "i=8" in dump and "i=9" in dump
+    assert "i=7" not in dump
+
+
+def test_usable_as_tracer_sink():
+    recorder = FlightRecorder(capacity=4)
+    tracer = Tracer(sink=recorder.sink)
+    tracer.emit(2.0, "enqueue", flow="rla-0")
+    assert recorder.records == [(2.0, "enqueue", {"flow": "rla-0"})]
+
+
+def test_observe_event_adapter():
+    recorder = FlightRecorder(capacity=4)
+    event = Event(time=3.0, seq=0, callback=lambda: None, name="link.tx")
+    recorder.observe_event(event)
+    time, category, fields = recorder.records[0]
+    assert (time, category, fields["name"]) == (3.0, "event", "link.tx")
+
+
+def test_clear():
+    recorder = FlightRecorder(capacity=4)
+    recorder.record(0.0, "tick")
+    recorder.clear()
+    assert len(recorder) == 0

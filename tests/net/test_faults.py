@@ -49,6 +49,29 @@ def test_dequeue_delegates():
     assert queue.dequeue(0.0) is None
 
 
+def test_observer_hooks_reach_inner_storage():
+    # Storage lives in the inner gateway; enqueue/dequeue observers must
+    # fire there or auditors watching the wrapper see nothing.
+    queue = RandomDropQueue(DropTailQueue(10), 0.0, rng=random.Random(5))
+    seen = {"enq": [], "deq": []}
+    queue.on_enqueue(lambda _now, packet, _depth: seen["enq"].append(packet.seq))
+    queue.on_dequeue(lambda _now, packet: seen["deq"].append(packet.seq))
+    queue.enqueue(0.0, _pkt(1))
+    queue.enqueue(0.0, _pkt(2))
+    assert [p.seq for p in queue.contents()] == [1, 2]
+    queue.dequeue(0.0)
+    assert seen == {"enq": [1, 2], "deq": [1]}
+
+
+def test_random_drop_fires_drop_hook_once():
+    queue = RandomDropQueue(DropTailQueue(10), 0.999, rng=random.Random(6))
+    reasons = []
+    queue.on_drop(lambda _now, _packet, reason: reasons.append(reason))
+    queue.enqueue(0.0, _pkt(0))
+    assert reasons == ["random"]
+    assert queue.dropped == 1
+
+
 def test_validation():
     with pytest.raises(ConfigurationError):
         RandomDropQueue(DropTailQueue(10), 1.0)

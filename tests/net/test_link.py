@@ -87,6 +87,34 @@ def test_utilization():
     assert link.utilization(1.0) == pytest.approx(0.5, rel=0.05)
 
 
+def test_utilization_counts_packet_in_service():
+    # Regression: bytes_sent is credited at serialization *end*, so a read
+    # mid-transmission used to undercount — a fully busy wire measured
+    # over a short window reported 0 instead of 1.
+    sim = Simulator()
+    link, _dst = _link(sim, rate_pps=200, delay=0.0)
+    link.send(Packet(DATA, "f", "A", "B", 0, 1000))  # 5 ms serialization
+    readings = []
+    sim.schedule(0.0025, lambda: readings.append(link.utilization(0.0025)))
+    sim.run()
+    assert link.busy is False  # transmission completed by the end
+    assert readings == [pytest.approx(1.0)]
+
+
+def test_utilization_in_service_credit_is_capped():
+    # The in-service credit must never exceed the packet's own size nor
+    # push utilization above 1.0 (e.g. right at serialization boundaries).
+    sim = Simulator()
+    link, _dst = _link(sim, rate_pps=200, delay=0.0)
+    for seq in range(3):
+        link.send(Packet(DATA, "f", "A", "B", seq, 1000))
+    readings = []
+    sim.schedule(0.012, lambda: readings.append(link.utilization(0.012)))
+    sim.run()
+    assert readings == [pytest.approx(1.0)]
+    assert link.utilization(0.015) == pytest.approx(1.0)
+
+
 def test_mean_pkt_time_installed_on_gateway():
     sim = Simulator()
     link, _ = _link(sim, rate_pps=200)

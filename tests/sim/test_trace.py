@@ -26,12 +26,30 @@ def test_category_filter():
     assert len(tracer) == 1
 
 
-def test_sink_bypasses_storage():
+def test_sink_tees_to_storage():
+    # Regression: records used to skip self.records entirely when a sink
+    # was set, so select() and len() silently returned nothing.
     seen = []
     tracer = Tracer(sink=seen.append)
     tracer.emit(1.0, "drop", reason="overflow")
-    assert len(tracer) == 0
     assert seen[0][1] == "drop"
+    assert len(tracer) == 1
+    assert tracer.select("drop")[0][2]["reason"] == "overflow"
+
+
+def test_sink_storage_is_bounded():
+    tracer = Tracer(sink=lambda record: None, max_records=8)
+    for i in range(100):
+        tracer.emit(float(i), "tick", i=i)
+    assert len(tracer) == 8
+    assert tracer.select("tick")[0][2]["i"] == 92  # oldest retained
+
+
+def test_unbounded_without_sink():
+    tracer = Tracer()
+    for i in range(5000):
+        tracer.emit(float(i), "tick")
+    assert len(tracer) == 5000
 
 
 def test_clear():
