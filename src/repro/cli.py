@@ -123,6 +123,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="fairness vs receiver count")
     _add_run_args(sweep)
     sweep.add_argument("--counts", type=int, nargs="+", default=[2, 4, 8])
+
+    scenarios = sub.add_parser(
+        "scenarios", help="generated workloads: topologies, mice, churn")
+    scen_sub = scenarios.add_subparsers(dest="action", required=True)
+    scen_sub.add_parser("list", help="list the named scenario catalog")
+    scen_run = scen_sub.add_parser("run", help="run named scenarios")
+    scen_run.add_argument("names", nargs="+", metavar="NAME",
+                          help="catalog scenario names (see 'scenarios list')")
+    # duration/warmup default to None so each scenario's catalog values
+    # survive unless explicitly overridden
+    scen_run.add_argument("--duration", type=float, default=None,
+                          help="override measured seconds after warmup")
+    scen_run.add_argument("--warmup", type=float, default=None,
+                          help="override discarded warmup seconds")
+    scen_run.add_argument("--seed", type=int, default=None,
+                          help="override the scenario seed")
+    scen_run.add_argument("--gateway", choices=["droptail", "red"],
+                          default=None, help="override the gateway type")
+    scen_run.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="run scenarios over N worker processes")
+    scen_run.add_argument("--cache", nargs="?", const="", default=None,
+                          metavar="DIR",
+                          help="serve unchanged runs from the on-disk result "
+                               "cache (DIR defaults to $REPRO_CACHE_DIR or "
+                               ".repro-cache)")
+    scen_run.add_argument("--metrics", action="store_true",
+                          help="print the per-run runtime summary table")
+    scen_run.add_argument("--audit", action="store_true",
+                          help="run under the conservation auditor")
     return parser
 
 
@@ -183,6 +212,23 @@ def _dispatch(args: argparse.Namespace) -> int:
                                     audited=args.audit,
                                     **_runtime_kwargs(args, outcomes))
         print(format_sweep(rows, "n_receivers"))
+        _print_metrics(args, outcomes)
+    elif args.figure == "scenarios":
+        from .scenarios import format_catalog, format_scenarios, get_scenario, run_scenarios
+
+        if args.action == "list":
+            print(format_catalog())
+            return 0
+        overrides = {k: v for k, v in (
+            ("duration", args.duration), ("warmup", args.warmup),
+            ("seed", args.seed), ("gateway", args.gateway),
+        ) if v is not None}
+        if args.audit:
+            overrides["audited"] = True
+        specs = [get_scenario(name, **overrides) for name in args.names]
+        outcomes = []
+        rows = run_scenarios(specs, **_runtime_kwargs(args, outcomes))
+        print(format_scenarios(rows))
         _print_metrics(args, outcomes)
     return 0
 

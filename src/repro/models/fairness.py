@@ -41,6 +41,28 @@ def soft_bottleneck_share(mu: Sequence[float], m: Sequence[int]) -> float:
     return mu[index] / (m[index] + 1)
 
 
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    The quantitative fairness measure of Jain, Chiu & Hawe: 1.0 when all
+    allocations are equal, approaching ``1/n`` as one allocation takes
+    everything.  Used by the scenario suite to score how evenly the RLA
+    session and its competing TCP flows share a generated topology.
+
+    All values must be non-negative; an all-zero allocation is perfectly
+    equal, so it scores 1.0.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ConfigurationError("jain_index needs at least one allocation")
+    if any(v < 0 for v in xs):
+        raise ConfigurationError(f"negative allocation in {xs!r}")
+    total = sum(xs)
+    if total == 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * sum(v * v for v in xs))
+
+
 def essential_fairness_bounds(n: int, gateway: str) -> Tuple[float, float]:
     """Theorem I/II factors ``(a, b)`` for ``n`` troubled receivers."""
     if n < 1:

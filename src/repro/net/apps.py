@@ -39,6 +39,11 @@ class CbrSource:
         self.interval = 1.0 / rate_pps
         self.next_seq = 0
         self._running = False
+        # Emission-chain epoch: each start() begins a new chain and stale
+        # events from earlier chains identify themselves by epoch.  Without
+        # this, stop() followed by start() before the stale _emit fires
+        # would leave two chains running at double rate.
+        self._epoch = 0
 
     def set_rate(self, rate_pps: float) -> None:
         """Change the sending rate (takes effect from the next packet)."""
@@ -47,18 +52,25 @@ class CbrSource:
         self.interval = 1.0 / rate_pps
 
     def start(self, offset: float = 0.0) -> None:
-        """Begin sending; the first packet leaves after ``offset`` seconds."""
+        """Begin sending; the first packet leaves after ``offset`` seconds.
+
+        Safe to call after :meth:`stop` at any time — a restart starts a
+        fresh emission chain and orphans any still-scheduled event of the
+        previous one.
+        """
         if self._running:
             return
         self._running = True
-        self.sim.schedule_after(offset, self._emit, name=f"{self.flow}.cbr")
+        self._epoch += 1
+        self.sim.schedule_after(offset, self._emit, self._epoch,
+                                name=f"{self.flow}.cbr")
 
     def stop(self) -> None:
-        """Stop after the currently scheduled packet (if any) is sent."""
+        """Stop sending; the already-scheduled next emission is discarded."""
         self._running = False
 
-    def _emit(self) -> None:
-        if not self._running:
+    def _emit(self, epoch: int) -> None:
+        if not self._running or epoch != self._epoch:
             return
         packet = Packet(
             DATA,
@@ -71,20 +83,38 @@ class CbrSource:
         )
         self.next_seq += 1
         self.node.send(packet)
-        self.sim.schedule_after(self.interval, self._emit, name=f"{self.flow}.cbr")
+        self.sim.schedule_after(self.interval, self._emit, epoch,
+                                name=f"{self.flow}.cbr")
 
 
 class PacketSink:
-    """Counts and optionally records arriving packets for one flow."""
+    """Counts and optionally records arriving packets for one flow.
 
-    def __init__(self, node: Node, flow: str, record: bool = False) -> None:
+    With ``record=True`` every arrival is stored as an
+    ``(arrival_time, seq)`` tuple — churn and burst analysis need the
+    times, not just the order.  Recording requires the simulator for its
+    clock, so ``sim`` must be passed alongside ``record=True``.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        flow: str,
+        record: bool = False,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        if record and sim is None:
+            raise ConfigurationError(
+                "PacketSink(record=True) needs sim= to timestamp arrivals"
+            )
         self.node = node
         self.flow = flow
         self.record = record
+        self.sim = sim
         self.received = 0
         self.bytes = 0
         self.last_seq: Optional[int] = None
-        self.arrivals = []  # [(time?, seq)] only when record=True
+        self.arrivals: list = []  # [(arrival_time, seq)] when record=True
         node.bind(flow, self.on_packet)
 
     def on_packet(self, packet: Packet) -> None:
@@ -93,4 +123,4 @@ class PacketSink:
         self.bytes += packet.size
         self.last_seq = packet.seq
         if self.record:
-            self.arrivals.append(packet.seq)
+            self.arrivals.append((self.sim.now, packet.seq))

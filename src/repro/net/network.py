@@ -16,6 +16,7 @@ static per-destination next hops.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
@@ -64,6 +65,14 @@ def red_factory(
     return make
 
 
+@dataclass
+class GroupState:
+    """Live membership of one multicast group (source + ordered members)."""
+
+    source: str
+    members: List[str] = field(default_factory=list)
+
+
 class Network:
     """Container wiring nodes and links onto one simulator."""
 
@@ -74,6 +83,9 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.default_queue: QueueFactory = default_queue or droptail_factory()
         self.graph = nx.Graph()
+        #: group address -> :class:`GroupState`; maintained by
+        #: :meth:`join_group` / :meth:`add_member` / :meth:`leave_group`
+        self.groups: Dict[str, GroupState] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -146,16 +158,85 @@ class Network:
 
         Installs forwarding entries along delay-weighted shortest paths and
         registers each member's local membership.  Returns the member list.
+
+        Idempotent: calling again for the same group *replaces* the tree —
+        stale forwarding entries and memberships from the previous call are
+        torn down first, so a double join never stacks duplicate branches
+        (and never double-delivers), and a re-join with a smaller member
+        set prunes the branches the departed members needed.
         """
-        members = list(members)
-        children = shortest_path_tree(self.graph, source, members, weight="delay")
+        members = list(dict.fromkeys(members))  # dedupe, keep order
+        state = self.groups.get(group)
+        if state is not None:
+            if state.source == source and state.members == members:
+                return list(members)  # exact repeat: nothing to do
+            self._teardown_group(group)
+        self.groups[group] = GroupState(source, list(members))
+        self._install_group(group)
+        return members
+
+    def _teardown_group(self, group: str) -> None:
+        """Remove every forwarding entry and membership of ``group``."""
+        for node in self.nodes.values():
+            node.clear_mcast_routes(group)
+            node.leave(group)
+
+    def _install_group(self, group: str) -> None:
+        """(Re)install the shortest-path tree for the group's current state."""
+        state = self.groups[group]
+        if not state.members:
+            return  # a group everyone has left forwards nothing
+        children = shortest_path_tree(
+            self.graph, state.source, state.members, weight="delay"
+        )
         for parent, kids in children.items():
             parent_node = self.node(parent)
             for child in kids:
                 parent_node.add_mcast_route(group, self.links[(parent, child)])
-        for member in members:
+        for member in state.members:
             self.node(member).join(group)
-        return members
+
+    def _rebuild_group(self, group: str) -> None:
+        self._teardown_group(group)
+        self._install_group(group)
+
+    def add_member(self, group: str, member: str) -> None:
+        """Graft ``member`` onto an existing group's tree (late join).
+
+        The whole tree is recomputed from the new member set — matching a
+        dense-mode protocol reconverging — so forwarding state after a
+        join is identical to what :meth:`join_group` would have installed
+        for that member set.  No-op if already a member.
+        """
+        state = self._group_state(group)
+        if member in state.members:
+            return
+        self.node(member)  # raise early for unknown nodes
+        state.members.append(member)
+        self._rebuild_group(group)
+
+    def leave_group(self, group: str, member: str) -> None:
+        """Prune ``member`` from a group's tree (leave / receiver churn).
+
+        Branches that only existed to reach the departed member are torn
+        down; shared branches survive.  Packets already queued on a pruned
+        branch still drain and are sunk downstream.  No-op for non-members.
+        """
+        state = self._group_state(group)
+        if member not in state.members:
+            return
+        state.members.remove(member)
+        self._rebuild_group(group)
+
+    def group_members(self, group: str) -> List[str]:
+        """Current member list of ``group`` (copy, in join order)."""
+        return list(self._group_state(group).members)
+
+    def _group_state(self, group: str) -> GroupState:
+        try:
+            return self.groups[group]
+        except KeyError:
+            raise TopologyError(f"unknown multicast group {group!r}") from None
 
     # ------------------------------------------------------------------
     def path_delay(self, a: str, b: str) -> float:

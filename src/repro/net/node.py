@@ -71,6 +71,19 @@ class Node:
         """Mark this node as a local member of ``group``."""
         self.memberships[group] = True
 
+    def leave(self, group: str) -> None:
+        """Drop local membership of ``group`` (no-op if not a member)."""
+        self.memberships.pop(group, None)
+
+    def clear_mcast_routes(self, group: str) -> None:
+        """Remove every downstream branch installed for ``group``.
+
+        Used by :meth:`repro.net.network.Network.leave_group` style tree
+        maintenance: the whole group tree is torn down and re-installed
+        from the surviving member set.
+        """
+        self.mcast_routes.pop(group, None)
+
     def on_consume(self, hook: ConsumeHook) -> None:
         """Register ``hook(packet, outcome)`` for packets that die here."""
         self._consume_hooks.append(hook)

@@ -28,16 +28,23 @@ class RLAReceiver:
         flow: str,
         sender_id: str,
         config: Optional[RLAConfig] = None,
+        start_seq: int = 0,
     ) -> None:
         self.sim = sim
         self.node = node
         self.flow = flow
         self.sender_id = sender_id
         self.config = (config or RLAConfig()).validate()
-        self.tracker = ReceiverSackTracker()
+        #: Late-join sync point: the sender's send sequence at join time.
+        #: Data below it predates this receiver's membership — the tracker
+        #: treats it as delivered, so the session never repairs history
+        #: for a late joiner.
+        self.start_seq = start_seq
+        self.tracker = ReceiverSackTracker(base=start_seq)
         self._ack_rng = sim.rng.stream(f"{flow}.{node.id}.ackjit")
         self.acks_sent = 0
         self.duplicates = 0
+        self.joined_at = sim.now
 
     @property
     def distinct_received(self) -> int:
@@ -89,5 +96,7 @@ class RLAReceiver:
             "duplicates": self.duplicates,
             "acks_sent": self.acks_sent,
             "rcv_nxt": self.tracker.rcv_nxt,
+            "start_seq": self.start_seq,
+            "joined_at": self.joined_at,
             "time": self.sim.now,
         }

@@ -205,8 +205,53 @@ class RLASender:
         self.awnd += self.config.awnd_gain * (self.cwnd - self.awnd)
 
     # ------------------------------------------------------------------
-    # membership (the §4.3 slow-receiver option)
+    # membership (the §4.3 slow-receiver option + late join)
     # ------------------------------------------------------------------
+    def add_receiver(self, receiver_id: str) -> int:
+        """Admit a receiver mid-session (late join); returns its sync seq.
+
+        The joiner is synced to the current send point ``snd_nxt``: its
+        state is created with ``last_ack = snd_nxt``, so every sequence
+        already transmitted counts as held by definition and the session
+        never repairs pre-join history for it.  The matching
+        :class:`~repro.rla.receiver.RLAReceiver` must be built with
+        ``start_seq`` equal to the returned value so both ends agree on
+        where the joiner's stream begins.
+
+        Reached-all counts are recomputed over every in-flight sequence
+        (the keys of ``_send_time``), not just the partially-ACKed ones:
+        a sequence with no ACKs yet is absent from ``_reach``, and if it
+        did not pick up the joiner as an implicit holder it could only
+        ever collect ``n - 1`` explicit ACKs — ``max_reach_all`` would
+        freeze and the cwnd-edge of the send window would deadlock.
+        """
+        if receiver_id in self.receivers:
+            return self.snd_nxt  # idempotent: already a member
+        cfg = self.config
+        now = self.sim.now
+        sync_seq = self.snd_nxt
+        state = ReceiverState(receiver_id, cfg.min_rto, cfg.max_rto)
+        state.last_ack = sync_seq
+        state.max_sacked = sync_seq - 1
+        state.observation_start = now
+        self.receivers[receiver_id] = state
+        self.n_receivers += 1
+        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+        # Recompute completion for every in-flight packet against the
+        # grown receiver set.  Every such seq is below the sync point, so
+        # the joiner holds it by definition (``has`` consults last_ack)
+        # and holders >= 1 always.
+        self._reach = {}
+        for seq in sorted(self._send_time):
+            holders = sum(1 for st in self.receivers.values() if st.has(seq))
+            if holders >= self.n_receivers:
+                self._on_full_ack(seq)
+            else:
+                self._reach[seq] = holders
+        self.tracker.recount(now, self.receivers.values())
+        self._try_send()
+        return sync_seq
+
     def remove_receiver(self, receiver_id: str) -> None:
         """Eject a receiver from the session (§4.3's drop-the-laggard option).
 
@@ -239,7 +284,9 @@ class RLASender:
             holders = sum(1 for st in self.receivers.values() if st.has(seq))
             if holders >= self.n_receivers:
                 self._on_full_ack(seq)
-            else:
+            elif holders > 0:
+                # zero counts stay absent: _count_reach treats a missing
+                # entry as zero, and the audit layer checks 0 < count < n
                 self._reach[seq] = holders
         self.tracker.recount(self.sim.now, self.receivers.values())
         self._try_send()

@@ -1,0 +1,220 @@
+"""Scenario execution: compile a :class:`ScenarioSpec` into one run.
+
+:func:`run_scenario` is a pure function of the spec — topology, traffic
+and churn randomness all come from dedicated named RNG streams of the
+run's seed, so the same spec yields byte-identical results in any
+process.  :func:`scenario_runspec` wraps a spec as a content-addressed
+:class:`repro.runtime.RunSpec` so scenario suites inherit the process
+pool, the on-disk result cache and the ``--audit`` machinery.
+
+Reported per scenario: the RLA session's reliable throughput, the
+slowest competing TCP flow's throughput (the paper's WTCP row), their
+ratio, and Jain's fairness index over the RLA + all long-lived TCP
+allocations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from ..models.fairness import jain_index
+from ..rla.session import RLASession
+from ..sim.engine import Simulator
+from .churn import CHURN_STREAM, ChurnDriver, churn_schedule
+from .spec import ScenarioSpec
+from .topologies import build_topology
+from .traffic import TRAFFIC_STREAM, place_traffic
+
+#: Name of the RNG stream that draws the receiver set when there is no churn.
+MEMBERS_STREAM = "scenario.members"
+
+
+def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute one scenario and return its JSON-friendly report row."""
+    spec.validate()
+    sim = Simulator(seed=spec.seed)
+    topo = build_topology(sim, spec.topology, spec.gateway)
+
+    # -- membership: fixed draw or churn schedule ----------------------
+    churn_rng = sim.rng.stream(CHURN_STREAM)
+    if spec.churn is not None:
+        initial, events = churn_schedule(
+            spec.churn, topo.hosts, spec.horizon, churn_rng
+        )
+    else:
+        from ..errors import ConfigurationError
+
+        if spec.receivers > len(topo.hosts):
+            raise ConfigurationError(
+                f"scenario {spec.name!r} wants {spec.receivers} receivers, "
+                f"topology only generated {len(topo.hosts)} hosts"
+            )
+        members_rng = sim.rng.stream(MEMBERS_STREAM)
+        pool = list(topo.hosts)
+        initial = [pool.pop(members_rng.randrange(len(pool)))
+                   for _ in range(spec.receivers)]
+        events = []
+
+    # -- observability: queue peaks, optional conservation audit -------
+    peak_depth = [0]
+
+    def _track_depth(_now: float, _packet, depth: int) -> None:
+        if depth > peak_depth[0]:
+            peak_depth[0] = depth
+
+    gateways = [link.gateway for link in topo.net.links.values()]
+    for gw in gateways:
+        gw.on_enqueue(_track_depth)
+    auditor = monitor = None
+    if spec.audited:
+        from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
+
+        recorder = FlightRecorder()
+        monitor = InvariantMonitor(recorder)
+        auditor = ConservationAuditor(sim, monitor=monitor, recorder=recorder)
+        auditor.attach(topo.net)
+        sim.event_hook = recorder.observe_event
+
+    try:
+        # -- background traffic then the multicast session -------------
+        traffic_rng = sim.rng.stream(TRAFFIC_STREAM)
+        placed = place_traffic(
+            sim, topo.net, spec.traffic, topo.hosts, topo.source,
+            duration=spec.horizon, rng=traffic_rng,
+        )
+        for flow in placed.tcp_flows:
+            flow.sender.monitor = monitor
+        session = RLASession(sim, topo.net, "rla-0", topo.source, initial)
+        session.sender.monitor = monitor
+        session.start(0.05)
+        driver = ChurnDriver(sim, session, events)
+        driver.start()
+
+        # -- run: warmup, mark, measure --------------------------------
+        sim.run(until=spec.warmup)
+        session.mark()
+        for flow in placed.tcp_flows:
+            flow.mark()
+        sim.run(until=spec.horizon)
+
+        # -- report -----------------------------------------------------
+        rla = session.report()
+        tcp_rates = [flow.report()["throughput_pps"]
+                     for flow in placed.tcp_flows]
+        rla_pps = max(rla["throughput_pps"], 0.0)
+        wtcp = min(tcp_rates) if tcp_rates else float("nan")
+        ratio = rla_pps / wtcp if tcp_rates and wtcp > 0 else float("nan")
+        jain = (jain_index([rla_pps] + [max(r, 0.0) for r in tcp_rates])
+                if tcp_rates else 1.0)
+
+        sim_stats: Dict[str, float] = {
+            "events": sim.events_executed,
+            "drops": sum(gw.dropped for gw in gateways),
+            "peak_queue_depth": peak_depth[0],
+            "sim_time": sim.now,
+        }
+        if auditor is not None:
+            for flow in placed.tcp_flows:
+                monitor.check_tcp(flow.sender)
+            if placed.mice is not None:
+                for mouse in placed.mice.mice:
+                    monitor.check_tcp(mouse.sender)
+            monitor.check_rla(session.sender)
+            auditor.verify()
+            sim_stats["audit_checks"] = monitor.checks_run
+            sim_stats["violations"] = monitor.violation_count
+
+        row: Dict[str, Any] = {
+            "scenario": spec.name,
+            "topology": type(spec.topology).__name__,
+            "gateway": spec.gateway,
+            "seed": spec.seed,
+            "n_nodes": len(topo.net.nodes),
+            "n_links": topo.n_links,
+            "rla_pps": rla_pps,
+            "wtcp_pps": wtcp,
+            "ratio": ratio,
+            "jain": jain,
+            "n_receivers": rla["n_receivers"],
+            "joins": rla["member_joins"],
+            "leaves": rla["member_leaves"],
+            "churn_applied": len(driver.applied),
+            "num_trouble": rla["num_trouble"],
+            "rtx_multicast": rla["rtx_multicast"],
+            "rtx_unicast": rla["rtx_unicast"],
+            "sim_stats": sim_stats,
+        }
+        if placed.mice is not None:
+            row.update(placed.mice.stats())
+        return row
+    finally:
+        if auditor is not None:
+            auditor.detach()
+            sim.event_hook = None
+
+
+# ----------------------------------------------------------------------
+# parallel-runtime wiring
+# ----------------------------------------------------------------------
+#: Entrypoint path worker processes resolve to run one scenario.
+SCENARIO_ENTRYPOINT = "repro.scenarios.runner:run_scenario_spec"
+
+
+def run_scenario_spec(params: Dict[str, Any]) -> Dict[str, Any]:
+    """:mod:`repro.runtime` entrypoint: ``params = {"spec": ScenarioSpec}``."""
+    return run_scenario(params["spec"])
+
+
+def scenario_runspec(spec: ScenarioSpec):
+    """A content-addressed RunSpec for one scenario."""
+    from ..runtime import RunSpec
+
+    return RunSpec(
+        SCENARIO_ENTRYPOINT,
+        {"spec": spec, "seed": spec.seed},
+        label=f"scenario {spec.name} seed={spec.seed} ({spec.gateway})",
+    )
+
+
+def run_scenarios(
+    specs: List[ScenarioSpec],
+    workers: Optional[int] = None,
+    cache=None,
+    outcomes: Optional[List[Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Run scenarios serially, or fan out through :mod:`repro.runtime`.
+
+    With ``workers``/``cache`` set the rows are byte-identical to the
+    serial path — scenarios draw only from their own seeded streams.
+    """
+    if workers is None and cache is None:
+        return [run_scenario(spec) for spec in specs]
+    from ..runtime import run_specs
+
+    run_specs_list = [scenario_runspec(spec) for spec in specs]
+    outs = run_specs(run_specs_list, workers=workers, cache=cache)
+    if outcomes is not None:
+        outcomes.extend(outs)
+    return [out.result for out in outs]
+
+
+def format_scenarios(rows: List[Dict[str, Any]]) -> str:
+    """Fixed-width scenario table: fairness, churn and audit columns."""
+    header = (f"{'scenario':<20} {'topology':<22} {'rla':>8} {'wtcp':>8} "
+              f"{'ratio':>7} {'jain':>6} {'recv':>4} {'join':>4} {'leave':>5} "
+              f"{'viol':>4}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        violations = row.get("sim_stats", {}).get("violations", "-")
+        ratio = row["ratio"]
+        ratio_s = f"{ratio:7.3f}" if not math.isnan(ratio) else f"{'-':>7}"
+        wtcp = row["wtcp_pps"]
+        wtcp_s = f"{wtcp:8.2f}" if not math.isnan(wtcp) else f"{'-':>8}"
+        lines.append(
+            f"{row['scenario']:<20} {row['topology']:<22} "
+            f"{row['rla_pps']:8.2f} {wtcp_s} {ratio_s} {row['jain']:6.3f} "
+            f"{row['n_receivers']:4d} {row['joins']:4d} {row['leaves']:5d} "
+            f"{violations!s:>4}"
+        )
+    return "\n".join(lines)

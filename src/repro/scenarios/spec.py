@@ -1,0 +1,74 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, canonicalizable description of one
+complete workload: a generated topology, a background-traffic mix, an
+optional receiver-churn process, and the run window.  Because it is a
+plain dataclass tree it flows straight into
+:class:`repro.runtime.RunSpec` params — content-addressed caching,
+process-pool fan-out and ``--audit`` all come for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import ConfigurationError
+from .churn import ChurnSpec
+from .topologies import JitteredTreeTopology, TransitStubTopology, WaxmanTopology
+from .traffic import BackgroundTraffic
+
+Topology = Union[WaxmanTopology, TransitStubTopology, JitteredTreeTopology]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, seeded workload scenario.
+
+    ``receivers`` is the multicast population when there is no churn;
+    with a :class:`ChurnSpec` the churn process governs membership and
+    ``receivers`` is ignored.  ``duration`` is the measured window after
+    ``warmup`` seconds; churn and background traffic run over the whole
+    ``warmup + duration`` horizon.
+    """
+
+    name: str
+    topology: Topology = field(default_factory=WaxmanTopology)
+    traffic: BackgroundTraffic = field(default_factory=BackgroundTraffic)
+    churn: Optional[ChurnSpec] = None
+    receivers: int = 4
+    duration: float = 30.0
+    warmup: float = 10.0
+    seed: int = 1
+    gateway: str = "droptail"
+    audited: bool = False
+
+    def validate(self) -> "ScenarioSpec":
+        if not self.name:
+            raise ConfigurationError("scenario needs a name")
+        if self.duration <= 0 or self.warmup < 0:
+            raise ConfigurationError(
+                f"need duration > 0 and warmup >= 0: "
+                f"duration={self.duration}, warmup={self.warmup}"
+            )
+        if self.gateway not in ("droptail", "red"):
+            raise ConfigurationError(f"unknown gateway type {self.gateway!r}")
+        self.topology.validate()
+        self.traffic.validate()
+        if self.churn is not None:
+            self.churn.validate()
+        elif self.receivers < 1:
+            raise ConfigurationError(
+                f"need at least one receiver without churn: {self.receivers}"
+            )
+        return self
+
+    @property
+    def horizon(self) -> float:
+        """Total simulated time: warmup plus the measured window."""
+        return self.warmup + self.duration
+
+    def replace(self, **overrides) -> "ScenarioSpec":
+        """A copy with some fields overridden (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,350 @@
+"""Seeded random topology generators for the scenario suite.
+
+Three families, all emitting ordinary :class:`~repro.net.network.Network`
+objects with per-link bandwidth/delay/buffer draws from one dedicated RNG
+stream (``scenario.topology``), so a topology is a pure function of the
+scenario seed:
+
+* **Waxman** — the classic random graph of Waxman '88: nodes scattered in
+  the unit square, edge probability ``alpha * exp(-d / (beta * L))``
+  decaying with Euclidean distance.  Components are stitched together
+  deterministically so the graph is always connected.
+* **Transit-stub** — a small transit core (ring) with stub domains hanging
+  off each transit router and hosts behind each stub router, the
+  GT-ITM-style structure of real inter-domain topologies.
+* **Jittered multicast tree** — the paper's k-ary tree shape, but with
+  per-link delay/bandwidth jitter so no two branches are identical and
+  phase effects cannot hide in symmetry.
+
+Every generator returns a :class:`GeneratedTopology` naming the multicast
+source and the candidate receiver hosts; scenario specs draw receiver
+sets and churn schedules from those hosts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+from ..net.network import Network, QueueFactory, droptail_factory, red_factory
+from ..sim.engine import Simulator
+from ..units import mbps, ms
+
+#: Name of the RNG stream every generator draws from.
+TOPOLOGY_STREAM = "scenario.topology"
+
+
+# ----------------------------------------------------------------------
+# topology specifications (canonicalizable, frozen, picklable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaxmanTopology:
+    """Waxman random graph: ``n`` nodes in the unit square.
+
+    ``bandwidth_mbps``/``delay_ms``/``buffer_pkts`` are uniform draw
+    ranges applied per link.  ``alpha`` scales overall edge density;
+    ``beta`` controls how sharply probability decays with distance.
+    """
+
+    n: int = 24
+    alpha: float = 0.5
+    beta: float = 0.25
+    bandwidth_mbps: Tuple[float, float] = (1.5, 6.0)
+    delay_ms: Tuple[float, float] = (2.0, 15.0)
+    buffer_pkts: Tuple[int, int] = (15, 40)
+
+    def validate(self) -> "WaxmanTopology":
+        if self.n < 3:
+            raise TopologyError(f"Waxman graph needs >= 3 nodes, got {self.n}")
+        if not (0.0 < self.alpha <= 1.0) or self.beta <= 0.0:
+            raise TopologyError(
+                f"need 0 < alpha <= 1 and beta > 0: alpha={self.alpha}, beta={self.beta}"
+            )
+        _check_range("bandwidth_mbps", self.bandwidth_mbps)
+        _check_range("delay_ms", self.delay_ms)
+        _check_range("buffer_pkts", self.buffer_pkts)
+        return self
+
+
+@dataclass(frozen=True)
+class TransitStubTopology:
+    """Transit core ring with stub domains and hosts (GT-ITM shape)."""
+
+    transits: int = 3
+    stubs_per_transit: int = 2
+    hosts_per_stub: int = 3
+    transit_bandwidth_mbps: Tuple[float, float] = (20.0, 40.0)
+    transit_delay_ms: Tuple[float, float] = (8.0, 25.0)
+    stub_bandwidth_mbps: Tuple[float, float] = (1.5, 6.0)
+    stub_delay_ms: Tuple[float, float] = (1.0, 6.0)
+    buffer_pkts: Tuple[int, int] = (15, 40)
+
+    def validate(self) -> "TransitStubTopology":
+        if self.transits < 1 or self.stubs_per_transit < 1 or self.hosts_per_stub < 1:
+            raise TopologyError(
+                "transit-stub needs >= 1 transit, stub and host per level"
+            )
+        _check_range("transit_bandwidth_mbps", self.transit_bandwidth_mbps)
+        _check_range("transit_delay_ms", self.transit_delay_ms)
+        _check_range("stub_bandwidth_mbps", self.stub_bandwidth_mbps)
+        _check_range("stub_delay_ms", self.stub_delay_ms)
+        _check_range("buffer_pkts", self.buffer_pkts)
+        return self
+
+
+@dataclass(frozen=True)
+class JitteredTreeTopology:
+    """k-ary multicast tree with per-link delay/bandwidth jitter.
+
+    Interior links are fast and short, leaf links slow and long (the
+    paper's figure-6 proportions); ``jitter`` is the +/- relative spread
+    drawn per link, so the branches are heterogeneous.
+    """
+
+    depth: int = 3
+    fanout: int = 3
+    interior_bandwidth_mbps: float = 50.0
+    interior_delay_ms: float = 5.0
+    leaf_bandwidth_mbps: float = 1.6
+    leaf_delay_ms: float = 40.0
+    jitter: float = 0.3
+    buffer_pkts: Tuple[int, int] = (15, 30)
+
+    def validate(self) -> "JitteredTreeTopology":
+        if self.depth < 1 or self.fanout < 1:
+            raise TopologyError("tree needs depth >= 1 and fanout >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise TopologyError(f"jitter must be in [0, 1): {self.jitter}")
+        _check_range("buffer_pkts", self.buffer_pkts)
+        return self
+
+
+#: Any of the generator specifications.
+TopologySpec = (WaxmanTopology, TransitStubTopology, JitteredTreeTopology)
+
+
+def _check_range(name: str, bounds: Tuple[float, float]) -> None:
+    lo, hi = bounds
+    if lo <= 0 or hi < lo:
+        raise TopologyError(f"{name} must satisfy 0 < lo <= hi: {bounds}")
+
+
+# ----------------------------------------------------------------------
+# build result
+# ----------------------------------------------------------------------
+@dataclass
+class GeneratedTopology:
+    """A built scenario network plus its multicast roles."""
+
+    net: Network
+    #: multicast source node id
+    source: str
+    #: candidate receiver hosts, in deterministic generation order
+    hosts: List[str]
+    #: (a, b, bandwidth_bps, delay_s, buffer_pkts) per undirected link
+    link_draws: List[Tuple[str, str, float, float, int]] = field(default_factory=list)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.link_draws)
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def build_topology(
+    sim: Simulator, spec, gateway: str = "droptail"
+) -> GeneratedTopology:
+    """Build the network a topology spec describes onto ``sim``.
+
+    All randomness comes from the simulator's ``scenario.topology``
+    stream: the same (seed, spec) pair always yields the identical
+    network, regardless of process or worker count.
+    """
+    if gateway not in ("droptail", "red"):
+        raise TopologyError(f"unknown gateway type {gateway!r}")
+    rng = sim.rng.stream(TOPOLOGY_STREAM)
+    if isinstance(spec, WaxmanTopology):
+        return _build_waxman(sim, spec.validate(), gateway, rng)
+    if isinstance(spec, TransitStubTopology):
+        return _build_transit_stub(sim, spec.validate(), gateway, rng)
+    if isinstance(spec, JitteredTreeTopology):
+        return _build_jittered_tree(sim, spec.validate(), gateway, rng)
+    raise TopologyError(f"unknown topology spec {type(spec).__name__}")
+
+
+def _queue_factory(sim: Simulator, gateway: str, buffer_pkts: int) -> QueueFactory:
+    """Per-link gateway factory with RED thresholds scaled to the buffer."""
+    if gateway == "red":
+        min_th = max(1.0, 0.25 * buffer_pkts)
+        max_th = max(min_th + 1.0, 0.75 * buffer_pkts)
+        return red_factory(sim, capacity=buffer_pkts, min_th=min_th, max_th=max_th)
+    return droptail_factory(buffer_pkts)
+
+
+def _add_drawn_link(
+    topo: GeneratedTopology,
+    sim: Simulator,
+    gateway: str,
+    rng: random.Random,
+    a: str,
+    b: str,
+    bandwidth_range: Tuple[float, float],
+    delay_range: Tuple[float, float],
+    buffer_range: Tuple[int, int],
+) -> None:
+    """Draw one link's parameters and install it bidirectionally."""
+    bandwidth = mbps(rng.uniform(*bandwidth_range))
+    delay = ms(rng.uniform(*delay_range))
+    buffer_pkts = rng.randint(int(buffer_range[0]), int(buffer_range[1]))
+    topo.net.add_link(
+        a, b, bandwidth, delay,
+        queue_factory=_queue_factory(sim, gateway, buffer_pkts),
+    )
+    topo.link_draws.append((a, b, bandwidth, delay, buffer_pkts))
+
+
+def _build_waxman(
+    sim: Simulator, spec: WaxmanTopology, gateway: str, rng: random.Random
+) -> GeneratedTopology:
+    n = spec.n
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    scale = spec.beta * math.sqrt(2.0)  # L = max distance in the unit square
+
+    edges: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = positions[i][0] - positions[j][0]
+            dy = positions[i][1] - positions[j][1]
+            dist = math.hypot(dx, dy)
+            if rng.random() < spec.alpha * math.exp(-dist / scale):
+                edges.append((i, j))
+
+    # Stitch disconnected components onto the component of node 0 by
+    # joining each component's lowest-index node to its geometrically
+    # nearest node in the main component (ties broken by index) --
+    # deterministic, so connectivity never depends on luck.
+    probe = nx.Graph()
+    probe.add_nodes_from(range(n))
+    probe.add_edges_from(edges)
+    components = sorted(nx.connected_components(probe), key=min)
+    main = set(components[0])
+    for component in components[1:]:
+        anchor = min(component)
+        nearest = min(
+            sorted(main),
+            key=lambda k: (
+                math.hypot(
+                    positions[anchor][0] - positions[k][0],
+                    positions[anchor][1] - positions[k][1],
+                ),
+                k,
+            ),
+        )
+        edges.append((min(anchor, nearest), max(anchor, nearest)))
+        probe.add_edge(anchor, nearest)
+        main |= component
+
+    # The multicast source is the best-connected node (ties -> lowest
+    # index): a hub makes the generated trees branch early, like a
+    # well-placed content source would.
+    degree: Dict[int, int] = {k: 0 for k in range(n)}
+    for i, j in edges:
+        degree[i] += 1
+        degree[j] += 1
+    source_index = max(range(n), key=lambda k: (degree[k], -k))
+
+    names = [f"W{k}" for k in range(n)]
+    topo = GeneratedTopology(net=Network(sim), source=names[source_index], hosts=[])
+    for i, j in sorted(edges):
+        _add_drawn_link(
+            topo, sim, gateway, rng, names[i], names[j],
+            spec.bandwidth_mbps, spec.delay_ms, spec.buffer_pkts,
+        )
+    topo.net.build_routes()
+    topo.hosts = [name for name in names if name != topo.source]
+    return topo
+
+
+def _build_transit_stub(
+    sim: Simulator, spec: TransitStubTopology, gateway: str, rng: random.Random
+) -> GeneratedTopology:
+    topo = GeneratedTopology(net=Network(sim), source="SRC", hosts=[])
+    transits = [f"T{i}" for i in range(spec.transits)]
+
+    # transit core: a ring (a chain for < 3 transits)
+    for index in range(len(transits) - 1):
+        _add_drawn_link(
+            topo, sim, gateway, rng, transits[index], transits[index + 1],
+            spec.transit_bandwidth_mbps, spec.transit_delay_ms, spec.buffer_pkts,
+        )
+    if len(transits) >= 3:
+        _add_drawn_link(
+            topo, sim, gateway, rng, transits[-1], transits[0],
+            spec.transit_bandwidth_mbps, spec.transit_delay_ms, spec.buffer_pkts,
+        )
+
+    # stub domains: router per stub, hosts behind each router
+    for t_index, transit in enumerate(transits):
+        for s_index in range(spec.stubs_per_transit):
+            router = f"G{t_index}.{s_index}"
+            _add_drawn_link(
+                topo, sim, gateway, rng, transit, router,
+                spec.stub_bandwidth_mbps, spec.stub_delay_ms, spec.buffer_pkts,
+            )
+            for h_index in range(spec.hosts_per_stub):
+                host = f"H{t_index}.{s_index}.{h_index}"
+                _add_drawn_link(
+                    topo, sim, gateway, rng, router, host,
+                    spec.stub_bandwidth_mbps, spec.stub_delay_ms, spec.buffer_pkts,
+                )
+                topo.hosts.append(host)
+
+    # the source sits on its own fast access link into the first transit,
+    # so the generated bottlenecks are always in the core or the stubs
+    topo.net.add_link("SRC", transits[0], mbps(100), ms(1),
+                      queue_factory=droptail_factory(1000))
+    topo.link_draws.append(("SRC", transits[0], mbps(100), ms(1), 1000))
+    topo.net.build_routes()
+    return topo
+
+
+def _build_jittered_tree(
+    sim: Simulator, spec: JitteredTreeTopology, gateway: str, rng: random.Random
+) -> GeneratedTopology:
+    topo = GeneratedTopology(net=Network(sim), source="S", hosts=[])
+
+    def jittered(base: float) -> float:
+        return base * rng.uniform(1.0 - spec.jitter, 1.0 + spec.jitter)
+
+    def grow(parent: str, level: int, prefix: str) -> None:
+        for k in range(1, spec.fanout + 1):
+            label = f"{prefix}{k}" if prefix else str(k)
+            leaf = level == spec.depth
+            child = f"R{label}" if leaf else f"G{label}"
+            bandwidth = mbps(jittered(
+                spec.leaf_bandwidth_mbps if leaf else spec.interior_bandwidth_mbps
+            ))
+            delay = ms(jittered(
+                spec.leaf_delay_ms if leaf else spec.interior_delay_ms
+            ))
+            buffer_pkts = rng.randint(int(spec.buffer_pkts[0]),
+                                      int(spec.buffer_pkts[1]))
+            topo.net.add_link(
+                parent, child, bandwidth, delay,
+                queue_factory=_queue_factory(sim, gateway, buffer_pkts),
+            )
+            topo.link_draws.append((parent, child, bandwidth, delay, buffer_pkts))
+            if leaf:
+                topo.hosts.append(child)
+            else:
+                grow(child, level + 1, f"{label}.")
+
+    grow("S", 1, "")
+    topo.net.build_routes()
+    return topo

@@ -19,11 +19,16 @@ SackBlock = Tuple[int, int]  # half-open [start, end)
 
 
 class ReceiverSackTracker:
-    """Receiver-side arrival map: cumulative point + out-of-order segments."""
+    """Receiver-side arrival map: cumulative point + out-of-order segments.
 
-    def __init__(self) -> None:
+    ``base`` starts the cumulative point above zero — a late-joining
+    multicast receiver is synced to the sender's current send point and
+    treats everything below it as already delivered.
+    """
+
+    def __init__(self, base: int = 0) -> None:
         #: Next expected in-order sequence number; all seq < rcv_nxt received.
-        self.rcv_nxt = 0
+        self.rcv_nxt = base
         self._above: Set[int] = set()
         self._recent_blocks: List[SackBlock] = []
         #: Number of distinct (first-time) segments received.

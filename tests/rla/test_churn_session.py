@@ -1,0 +1,98 @@
+"""Receiver churn on a live RLA session: late joins and mid-session leaves."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rla.session import RLASession
+
+
+def test_late_join_syncs_to_current_send_point(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2"])
+    session.start()
+    sim.run(until=5.0)
+    progress_at_join = session.sender.snd_nxt
+    assert progress_at_join > 0  # the session has been sending
+
+    receiver = session.add_member("R3")
+    assert receiver.start_seq == progress_at_join
+    # sender state admits R3 holding everything before the sync point
+    assert session.sender.receivers["R3"].last_ack == progress_at_join
+    assert session.sender.n_receivers == 3
+
+    sim.run(until=20.0)
+    # the late joiner receives post-join data (no pre-join history needed)
+    assert receiver.tracker.rcv_nxt > progress_at_join
+    # and full-group progress advances past the join point
+    assert session.sender.stats()["max_reach_all"] > progress_at_join
+
+
+def test_add_member_is_idempotent(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2"])
+    session.start()
+    sim.run(until=2.0)
+    first = session.add_member("R3")
+    again = session.add_member("R3")
+    assert first is again
+    assert session.members.count("R3") == 1
+    assert session.joins == 1
+
+
+def test_leave_mid_session_keeps_sender_running(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2", "R3"])
+    session.start()
+    sim.run(until=5.0)
+    session.remove_member("R2")
+    assert "R2" not in session.receivers
+    assert "R2" not in session.sender.receivers
+    assert session.leaves == 1
+    # the departed receiver's final stats were snapshotted
+    assert session.departed[0]["member"] == "R2"
+    assert session.departed[0]["left_at"] == pytest.approx(5.0)
+
+    before = session.sender.stats()["max_reach_all"]
+    sim.run(until=15.0)
+    assert session.sender.stats()["max_reach_all"] > before
+
+
+def test_remove_nonmember_is_noop(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1"])
+    session.start()
+    sim.run(until=1.0)
+    session.remove_member("R3")
+    assert session.leaves == 0
+
+
+def test_remove_last_receiver_raises(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1"])
+    session.start()
+    sim.run(until=1.0)
+    with pytest.raises(ConfigurationError):
+        session.remove_member("R1")
+
+
+def test_report_carries_churn_counters(sim, star_net):
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2"])
+    session.start()
+    sim.run(until=3.0)
+    session.add_member("R3")
+    sim.run(until=6.0)
+    session.remove_member("R1")
+    sim.run(until=10.0)
+    report = session.report()
+    assert report["member_joins"] == 1
+    assert report["member_leaves"] == 1
+    assert report["n_receivers"] == 2
+
+
+def test_join_leave_cycle_reuses_host(sim, star_net):
+    """A host can leave and later re-join; the rejoin syncs afresh."""
+    session = RLASession(sim, star_net, "rla-0", "S", ["R1", "R2"])
+    session.start()
+    sim.run(until=4.0)
+    session.remove_member("R2")
+    sim.run(until=8.0)
+    rejoined = session.add_member("R2")
+    assert rejoined.start_seq == session.sender.receivers["R2"].last_ack
+    sim.run(until=16.0)
+    assert rejoined.tracker.rcv_nxt > rejoined.start_seq
+    assert session.joins == 1 and session.leaves == 1

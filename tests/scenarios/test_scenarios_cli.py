@@ -1,0 +1,45 @@
+"""The ``repro-rla scenarios`` CLI surface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_scenarios_list(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "waxman-churn" in out
+    assert "tree-churn" in out
+
+
+def test_scenarios_run_prints_table(capsys):
+    code = main(["scenarios", "run", "waxman-steady",
+                 "--duration", "4", "--warmup", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "waxman-steady" in out
+    assert "jain" in out
+
+
+def test_scenarios_run_audited_with_metrics(capsys):
+    code = main(["scenarios", "run", "waxman-churn",
+                 "--duration", "5", "--warmup", "2", "--audit", "--metrics"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "waxman-churn" in out
+    assert "runtime summary" in out
+
+
+def test_scenarios_run_unknown_name_fails(capsys):
+    assert main(["scenarios", "run", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenarios_run_seed_override_changes_output(capsys):
+    main(["scenarios", "run", "waxman-steady", "--duration", "4",
+          "--warmup", "2"])
+    base = capsys.readouterr().out
+    main(["scenarios", "run", "waxman-steady", "--duration", "4",
+          "--warmup", "2", "--seed", "3"])
+    other = capsys.readouterr().out
+    assert base != other

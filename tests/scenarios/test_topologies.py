@@ -1,0 +1,112 @@
+"""Seeded topology generators: determinism, connectivity, parameter ranges."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.scenarios import (
+    JitteredTreeTopology,
+    TransitStubTopology,
+    WaxmanTopology,
+    build_topology,
+)
+from repro.sim.engine import Simulator
+
+SPECS = [
+    WaxmanTopology(n=16),
+    TransitStubTopology(transits=2, stubs_per_transit=2, hosts_per_stub=2),
+    JitteredTreeTopology(depth=2, fanout=3),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: type(s).__name__)
+def test_same_seed_same_topology(spec):
+    draws = [
+        build_topology(Simulator(seed=5), spec).link_draws
+        for _ in range(2)
+    ]
+    assert draws[0] == draws[1]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: type(s).__name__)
+def test_hosts_and_source_deterministic(spec):
+    topos = [build_topology(Simulator(seed=9), spec) for _ in range(2)]
+    assert topos[0].source == topos[1].source
+    assert topos[0].hosts == topos[1].hosts
+
+
+def test_different_seeds_differ():
+    spec = WaxmanTopology(n=16)
+    a = build_topology(Simulator(seed=1), spec).link_draws
+    b = build_topology(Simulator(seed=2), spec).link_draws
+    assert a != b
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: type(s).__name__)
+def test_generated_graph_is_connected(spec):
+    topo = build_topology(Simulator(seed=3), spec)
+    graph = nx.Graph()
+    for a, b, _bw, _delay, _buf in topo.link_draws:
+        graph.add_edge(a, b)
+    graph.add_node(topo.source)
+    assert nx.is_connected(graph)
+    assert all(host in graph for host in topo.hosts)
+
+
+def test_waxman_draws_within_ranges():
+    spec = WaxmanTopology(n=14, bandwidth_mbps=(2.0, 4.0),
+                          delay_ms=(3.0, 9.0), buffer_pkts=(10, 20))
+    topo = build_topology(Simulator(seed=7), spec)
+    assert topo.n_links >= 13  # connected on 14 nodes
+    for _a, _b, bandwidth, delay, buffer_pkts in topo.link_draws:
+        assert 2.0e6 <= bandwidth <= 4.0e6
+        assert 0.003 <= delay <= 0.009
+        assert 10 <= buffer_pkts <= 20
+
+
+def test_transit_stub_shape():
+    spec = TransitStubTopology(transits=3, stubs_per_transit=2, hosts_per_stub=2)
+    topo = build_topology(Simulator(seed=4), spec)
+    assert topo.source == "SRC"
+    assert len(topo.hosts) == 3 * 2 * 2
+    # ring core + stub routers + host links + source access link
+    assert topo.n_links == 3 + 3 * 2 + 3 * 2 * 2 + 1
+
+
+def test_jittered_tree_shape_and_jitter():
+    spec = JitteredTreeTopology(depth=2, fanout=3, jitter=0.3)
+    topo = build_topology(Simulator(seed=11), spec)
+    assert len(topo.hosts) == 9  # fanout^depth leaves
+    assert topo.source == "S"
+    leaf_delays = {delay for _a, b, _bw, delay, _buf in topo.link_draws
+                   if b.startswith("R")}
+    assert len(leaf_delays) > 1  # jitter makes branches heterogeneous
+
+
+def test_red_gateway_accepted():
+    topo = build_topology(Simulator(seed=2), WaxmanTopology(n=10), gateway="red")
+    assert topo.n_links >= 9
+
+
+def test_unknown_gateway_rejected():
+    with pytest.raises(TopologyError):
+        build_topology(Simulator(seed=1), WaxmanTopology(n=10), gateway="fifo")
+
+
+@pytest.mark.parametrize("bad", [
+    WaxmanTopology(n=2),
+    WaxmanTopology(alpha=0.0),
+    WaxmanTopology(beta=-1.0),
+    WaxmanTopology(bandwidth_mbps=(6.0, 1.5)),
+    TransitStubTopology(transits=0),
+    JitteredTreeTopology(depth=0),
+    JitteredTreeTopology(jitter=1.5),
+])
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(TopologyError):
+        build_topology(Simulator(seed=1), bad)
+
+
+def test_unknown_spec_type_rejected():
+    with pytest.raises(TopologyError):
+        build_topology(Simulator(seed=1), object())
