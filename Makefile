@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures quickstart clean
+.PHONY: install test bench bench-harness bench-smoke figures quickstart clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,19 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Full regression harness: all suites, compared against the committed
+# per-PR record (see docs/PERFORMANCE.md for the schema and knobs).
+bench-harness:
+	PYTHONPATH=src $(PYTHON) -m repro.bench run --label local \
+		--out BENCH_local.json --compare BENCH_4.json
+
+# The fast 2-suite subset CI runs on every push (>25% slowdown fails).
+# 3 repeats (min wins) because CI runners are noisy single-tenant VMs.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench run --suites engine,fig7 \
+		--label ci --out BENCH_ci.json --repeats 3 \
+		--compare benchmarks/BENCH_ci_baseline.json
 
 # Reproduce every paper figure from the CLI at a moderate scale.
 figures:

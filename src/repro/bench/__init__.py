@@ -1,0 +1,48 @@
+"""Benchmark-regression harness: measure, record, and compare performance.
+
+The pytest suites under ``benchmarks/`` validate *shape* (who wins, the
+theorem bounds); this package records *speed* so the performance
+trajectory accumulates across PRs:
+
+* :mod:`repro.bench.suites` — the registry of measured workloads, each
+  mirroring one ``benchmarks/bench_*.py`` suite;
+* :mod:`repro.bench.harness` — runs suites and emits a schema'd JSON
+  document (``repro.bench/v1``: wall time, events/sec, packets/sec per
+  suite plus an environment block);
+* :mod:`repro.bench.compare` — diffs two documents with a configurable
+  regression threshold (events/sec based, so documents taken at
+  different scales remain comparable);
+* ``python -m repro.bench`` — the CLI gluing these together, wired into
+  ``make bench-harness`` / ``make bench-smoke`` and the CI ``bench-smoke``
+  job.
+
+Committed artifacts live next to the code: ``BENCH_<pr>.json`` at the
+repo root is the per-PR record, ``benchmarks/BENCH_ci_baseline.json`` is
+the smoke baseline CI compares against.  See docs/PERFORMANCE.md.
+"""
+
+from .compare import ComparisonReport, SuiteDelta, compare_docs
+from .harness import (
+    SCHEMA,
+    bench_scale,
+    load_report,
+    run_benchmarks,
+    run_suite,
+    write_report,
+)
+from .suites import SMOKE_SUITES, SUITES, Suite
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "SMOKE_SUITES",
+    "Suite",
+    "ComparisonReport",
+    "SuiteDelta",
+    "bench_scale",
+    "compare_docs",
+    "load_report",
+    "run_benchmarks",
+    "run_suite",
+    "write_report",
+]

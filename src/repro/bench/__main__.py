@@ -1,0 +1,107 @@
+"""``python -m repro.bench`` — run, compare, and list benchmark suites.
+
+Examples
+--------
+Run everything at the default smoke scale and write ``BENCH_local.json``::
+
+    PYTHONPATH=src python -m repro.bench run --out BENCH_local.json
+
+Run the CI subset and fail if it regressed >25% vs the committed baseline::
+
+    PYTHONPATH=src python -m repro.bench run --suites engine,fig7 \\
+        --out BENCH_ci.json --compare benchmarks/BENCH_ci_baseline.json
+
+Compare two existing documents::
+
+    PYTHONPATH=src python -m repro.bench compare BENCH_new.json BENCH_4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compare import DEFAULT_THRESHOLD, compare_docs
+from .harness import (
+    bench_scale,
+    default_output_name,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+from .suites import SUITES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark-regression harness (schema repro.bench/v1)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run suites and emit a JSON document")
+    run_p.add_argument("--suites", default=None,
+                       help="comma-separated subset (default: all)")
+    run_p.add_argument("--out", default=None,
+                       help="output path (default: BENCH_<label>.json)")
+    run_p.add_argument("--label", default="local",
+                       help="document label, used in the default file name")
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="timed repeats per suite; min wall time wins")
+    run_p.add_argument("--duration", type=float, default=None,
+                       help="measured seconds (default env or 8.0)")
+    run_p.add_argument("--warmup", type=float, default=None,
+                       help="warmup seconds (default env or 3.0)")
+    run_p.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="also compare against this document; exit 1 "
+                            "on regression")
+    run_p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="allowed fractional slowdown (default 0.25)")
+
+    cmp_p = sub.add_parser("compare", help="compare two JSON documents")
+    cmp_p.add_argument("current", help="freshly produced document")
+    cmp_p.add_argument("baseline", help="committed baseline document")
+    cmp_p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="allowed fractional slowdown (default 0.25)")
+
+    sub.add_parser("list", help="list registered suites")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in SUITES)
+        for name, suite in SUITES.items():
+            print(f"{name:<{width}}  {suite.description}  "
+                  f"[mirrors {suite.mirrors}]")
+        return 0
+
+    if args.command == "compare":
+        report = compare_docs(load_report(args.current),
+                              load_report(args.baseline),
+                              threshold=args.threshold)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    # run
+    names = args.suites.split(",") if args.suites else None
+    scale = bench_scale(duration=args.duration, warmup=args.warmup)
+    doc = run_benchmarks(names=names, scale=scale, repeats=args.repeats,
+                         label=args.label, progress=print)
+    out = args.out or default_output_name(args.label)
+    write_report(doc, out)
+    print(f"[repro.bench] wrote {out}")
+    if args.compare:
+        report = compare_docs(doc, load_report(args.compare),
+                              threshold=args.threshold)
+        print(report.format())
+        return 0 if report.ok else 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Regression comparison between two ``repro.bench/v1`` documents.
+
+The compared metric is **events/sec**: it is wall-clock based (so real
+regressions show up) but normalized by the deterministic event count (so
+a baseline taken at one ``REPRO_BENCH_DURATION`` can still be compared
+to a run at another — the workload per event is identical).  A suite
+regresses when its events/sec falls more than ``threshold`` below the
+baseline; new or removed suites are reported but never fail the check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+#: Default allowed fractional slowdown before a suite counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class SuiteDelta:
+    """Comparison outcome for one suite present in either document."""
+
+    name: str
+    status: str  # "ok" | "regressed" | "improved" | "new" | "removed"
+    current_eps: float = 0.0
+    baseline_eps: float = 0.0
+    #: current/baseline events-per-second ratio (1.0 = unchanged)
+    ratio: float = 1.0
+
+
+@dataclass
+class ComparisonReport:
+    """All suite deltas plus the overall pass/fail verdict."""
+
+    threshold: float
+    deltas: List[SuiteDelta] = field(default_factory=list)
+    #: True when env blocks differ in scale (results still compared, but
+    #: the report flags that wall times are not directly comparable).
+    scale_mismatch: bool = False
+
+    @property
+    def regressed(self) -> List[SuiteDelta]:
+        """The suites that failed the threshold."""
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no suite regressed beyond the threshold."""
+        return not self.regressed
+
+    def format(self) -> str:
+        """Human-readable comparison table with a verdict line."""
+        lines = [f"{'suite':>12s}  {'baseline ev/s':>14s}  "
+                 f"{'current ev/s':>13s}  {'ratio':>6s}  status"]
+        for d in self.deltas:
+            base = f"{d.baseline_eps:,.0f}" if d.baseline_eps else "-"
+            cur = f"{d.current_eps:,.0f}" if d.current_eps else "-"
+            lines.append(f"{d.name:>12s}  {base:>14s}  {cur:>13s}  "
+                         f"{d.ratio:>6.2f}  {d.status}")
+        if self.scale_mismatch:
+            lines.append("note: scale (duration/warmup) differs between "
+                         "documents; events/s is still comparable, wall "
+                         "times are not.")
+        verdict = ("OK" if self.ok else
+                   f"REGRESSION: {', '.join(d.name for d in self.regressed)} "
+                   f"slower than baseline by more than "
+                   f"{self.threshold:.0%}")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_docs(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonReport:
+    """Compare two loaded benchmark documents suite by suite."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    cur_suites: Dict[str, Any] = current.get("suites", {})
+    base_suites: Dict[str, Any] = baseline.get("suites", {})
+    cur_env = current.get("environment", {})
+    base_env = baseline.get("environment", {})
+    report = ComparisonReport(
+        threshold=threshold,
+        scale_mismatch=(
+            (cur_env.get("duration"), cur_env.get("warmup"))
+            != (base_env.get("duration"), base_env.get("warmup"))
+        ),
+    )
+    for name in sorted(set(cur_suites) | set(base_suites)):
+        cur = cur_suites.get(name)
+        base = base_suites.get(name)
+        if cur is None:
+            report.deltas.append(SuiteDelta(
+                name, "removed", baseline_eps=base["events_per_s"]))
+            continue
+        if base is None:
+            report.deltas.append(SuiteDelta(
+                name, "new", current_eps=cur["events_per_s"]))
+            continue
+        cur_eps = float(cur["events_per_s"])
+        base_eps = float(base["events_per_s"])
+        ratio = cur_eps / base_eps if base_eps else 1.0
+        if ratio < 1.0 - threshold:
+            status = "regressed"
+        elif ratio > 1.0 + threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        report.deltas.append(SuiteDelta(
+            name, status, current_eps=cur_eps, baseline_eps=base_eps,
+            ratio=ratio,
+        ))
+    return report

@@ -1,0 +1,116 @@
+"""The benchmark suite registry.
+
+Each suite is an in-process, single-run equivalent of one of the
+``benchmarks/bench_*.py`` pytest suites, trimmed to what a regression
+harness needs: a deterministic workload whose *event count* is a pure
+function of the scale knobs, so that events/sec comparisons across
+commits measure the engine and not the workload.
+
+Suites run **serially in this process** even when ``REPRO_BENCH_WORKERS``
+is set: packets/sec is derived from the process-wide packet uid counter,
+which a :mod:`repro.runtime` fan-out would bypass (workers mint uids in
+their own processes).  See docs/PERFORMANCE.md for how the env vars are
+honored across the pytest benchmarks versus this harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One registered benchmark workload.
+
+    ``run`` takes the scale mapping (``duration``/``warmup`` seconds) and
+    returns the number of simulator events executed.  Wall time and
+    packet counts are measured around it by the harness.
+    """
+
+    name: str
+    description: str
+    run: Callable[[Mapping[str, float]], int]
+    #: pytest suite this mirrors (for cross-referencing in docs/CI logs)
+    mirrors: str
+
+
+def _engine_storm(scale: Mapping[str, float]) -> int:
+    """Raw event dispatch: 100 chains of timers, no network stack.
+
+    Mirrors ``bench_engine.test_event_loop_throughput``; scale-independent
+    (the chain count is fixed) so it isolates pure engine overhead.
+    """
+    from ..sim.engine import Simulator
+
+    sim = Simulator(seed=1)
+    n_events = 200_000
+
+    def chain(remaining: int) -> None:
+        if remaining > 0:
+            sim.schedule_after(0.001, chain, remaining - 1)
+
+    for _ in range(100):
+        sim.schedule(0.0, chain, n_events // 100)
+    return sim.run()
+
+
+def _fig7(scale: Mapping[str, float]) -> int:
+    """Figure 7 cases 1 and 3 (drop-tail), serial path."""
+    from ..experiments.fig7_droptail import run_fig7
+
+    results = run_fig7(duration=scale["duration"], warmup=scale["warmup"],
+                       cases=(1, 3))
+    return int(sum(res.stats["events"] for res in results.values()))
+
+
+def _fig9(scale: Mapping[str, float]) -> int:
+    """Figure 9 cases 1 and 3 (RED), serial path."""
+    from ..experiments.fig9_red import run_fig9
+
+    results = run_fig9(duration=scale["duration"], warmup=scale["warmup"],
+                       cases=(1, 3))
+    return int(sum(res.stats["events"] for res in results.values()))
+
+
+def _scenarios(scale: Mapping[str, float]) -> int:
+    """Scenario catalog smoke: churn + bursty entries at bench scale."""
+    from ..scenarios import get_scenario, run_scenario
+
+    events = 0
+    for name in ("waxman-churn", "tree-bursty"):
+        spec = get_scenario(name, duration=scale["duration"],
+                            warmup=scale["warmup"])
+        row = run_scenario(spec)
+        events += int(row["sim_stats"]["events"])
+    return events
+
+
+#: name -> Suite, in canonical run order.
+SUITES: Dict[str, Suite] = {
+    suite.name: suite
+    for suite in (
+        Suite("engine", "raw event dispatch, no network stack",
+              _engine_storm, "bench_engine.py"),
+        Suite("fig7", "figure 7 cases 1+3, drop-tail gateways",
+              _fig7, "bench_fig7_droptail.py"),
+        Suite("fig9", "figure 9 cases 1+3, RED gateways",
+              _fig9, "bench_fig9_red.py"),
+        Suite("scenarios", "catalog smoke: waxman-churn + tree-bursty",
+              _scenarios, "bench_sweeps.py / scenarios catalog"),
+    )
+}
+
+#: The fast subset the CI ``bench-smoke`` job runs on every push.
+SMOKE_SUITES = ("engine", "fig7")
+
+
+def resolve(names) -> Dict[str, Suite]:
+    """Validate a suite-name iterable against the registry, keeping order."""
+    selected = {}
+    for name in names:
+        if name not in SUITES:
+            known = ", ".join(SUITES)
+            raise KeyError(f"unknown bench suite {name!r} (known: {known})")
+        selected[name] = SUITES[name]
+    return selected

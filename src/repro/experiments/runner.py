@@ -146,17 +146,10 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
     jitter = spec.resolved_jitter(min(bandwidths.values()))
     start_rng = sim.rng.stream("experiment.start")
 
-    # Instrument every gateway so the runtime layer can report engine-level
-    # load (drops, peak occupancy) without re-walking the network.
-    peak_depth = [0]
-
-    def _track_depth(_now: float, _packet, depth: int) -> None:
-        if depth > peak_depth[0]:
-            peak_depth[0] = depth
-
+    # Gateways track peak occupancy natively (Gateway.peak_depth), so the
+    # runtime layer's load stats need no per-enqueue hook — leaving the
+    # enqueue fast path hook-free for un-audited runs.
     gateways = [link.gateway for link in net.links.values()]
-    for gateway in gateways:
-        gateway.on_enqueue(_track_depth)
 
     # The auditor's creation hook is process-global, so it must be
     # uninstalled even when the run raises (try/finally below); parallel
@@ -219,7 +212,7 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
         stats: Dict[str, float] = {
             "events": sim.events_executed,
             "drops": sum(gateway.dropped for gateway in gateways),
-            "peak_queue_depth": peak_depth[0],
+            "peak_queue_depth": max(gateway.peak_depth for gateway in gateways),
             "sim_time": sim.now,
         }
         if auditor is not None:

@@ -52,15 +52,9 @@ def _run_symmetric(
     )
     sim = Simulator(seed=seed)
     net, receivers = build_restricted(sim, spec)
-    peak_depth = [0]
-
-    def _track_depth(_now: float, _packet, depth: int) -> None:
-        if depth > peak_depth[0]:
-            peak_depth[0] = depth
-
+    # Peak occupancy comes from the gateways' native counters; no
+    # per-enqueue hook means the enqueue fast path stays hook-free.
     gateways = [link.gateway for link in net.links.values()]
-    for gw in gateways:
-        gw.on_enqueue(_track_depth)
     auditor = monitor = None
     if audited:
         from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
@@ -99,7 +93,7 @@ def _run_symmetric(
         sim_stats: Dict[str, float] = {
             "events": sim.events_executed,
             "drops": sum(gw.dropped for gw in gateways),
-            "peak_queue_depth": peak_depth[0],
+            "peak_queue_depth": max(gw.peak_depth for gw in gateways),
             "sim_time": sim.now,
         }
         if auditor is not None:

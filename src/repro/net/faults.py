@@ -78,6 +78,19 @@ class RandomDropQueue(Gateway):
         return self.inner.depth
 
     @property
+    def peak_depth(self) -> int:
+        """Largest inner queue depth reached (storage lives inside)."""
+        return self.inner.peak_depth
+
+    @peak_depth.setter
+    def peak_depth(self, value: int) -> None:
+        # Assigned by Gateway.__init__ before `inner` exists; the inner
+        # gateway initializes its own counter, so the base-class zero is
+        # simply discarded.
+        if "inner" in self.__dict__:
+            self.inner.peak_depth = value
+
+    @property
     def mean_pkt_time(self) -> float:  # noqa: D401 - property pair
         """Mean packet service time, proxied to the inner discipline."""
         return self.inner.mean_pkt_time

@@ -9,10 +9,10 @@ figure-10 experiment makes interior gateways G31..G39 multicast receivers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, TYPE_CHECKING
+from typing import Callable, Dict, List, Tuple, TYPE_CHECKING
 
 from ..errors import RoutingError
-from .addressing import is_multicast
+from .addressing import GROUP_PREFIX
 from .packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -38,6 +38,15 @@ class Node:
         self.mcast_routes: Dict[str, List["Link"]] = {}
         #: group address -> True if an agent on this node joined the group
         self.memberships: Dict[str, bool] = {}
+        #: Per-group fan-out cache: group -> (deliver_locally, branches).
+        #: ``branches`` is an immutable tuple snapshot of ``mcast_routes``.
+        #: Built lazily on the first packet of a group and invalidated by
+        #: every tree-maintenance call (join/leave/add/clear), so the
+        #: per-packet multicast path is a single dict hit instead of two
+        #: lookups plus list indirection.  :class:`repro.net.network.Network`
+        #: rebuilds trees exclusively through those calls, which keeps this
+        #: cache coherent across churn.
+        self._fanout: Dict[str, Tuple[bool, Tuple["Link", ...]]] = {}
         #: flow-id -> transport agent handler
         self._agents: Dict[str, Handler] = {}
         self._consume_hooks: List[ConsumeHook] = []
@@ -66,14 +75,17 @@ class Node:
         branches = self.mcast_routes.setdefault(group, [])
         if link not in branches:
             branches.append(link)
+        self._fanout.pop(group, None)
 
     def join(self, group: str) -> None:
         """Mark this node as a local member of ``group``."""
         self.memberships[group] = True
+        self._fanout.pop(group, None)
 
     def leave(self, group: str) -> None:
         """Drop local membership of ``group`` (no-op if not a member)."""
         self.memberships.pop(group, None)
+        self._fanout.pop(group, None)
 
     def clear_mcast_routes(self, group: str) -> None:
         """Remove every downstream branch installed for ``group``.
@@ -83,6 +95,7 @@ class Node:
         from the surviving member set.
         """
         self.mcast_routes.pop(group, None)
+        self._fanout.pop(group, None)
 
     def on_consume(self, hook: ConsumeHook) -> None:
         """Register ``hook(packet, outcome)`` for packets that die here."""
@@ -99,21 +112,32 @@ class Node:
         """Entry point for packets arriving from a link (or sent locally)."""
         self.packets_received += 1
         packet.hops += 1
-        if is_multicast(packet.dst):
+        dst = packet.dst
+        # Inlined is_multicast(dst): one startswith instead of a function
+        # call — this runs once per packet per hop.
+        if dst.startswith(GROUP_PREFIX):
             self._receive_multicast(packet)
-        elif packet.dst == self.id:
+        elif dst == self.id:
             self._deliver(packet)
         else:
             self._forward_unicast(packet)
 
     def _receive_multicast(self, packet: Packet) -> None:
-        delivered_locally = self.memberships.get(packet.dst, False)
+        group = packet.dst
+        fanout = self._fanout.get(group)
+        if fanout is None:
+            fanout = (
+                self.memberships.get(group, False),
+                tuple(self.mcast_routes.get(group, ())),
+            )
+            self._fanout[group] = fanout
+        delivered_locally, branches = fanout
         if delivered_locally:
             self._deliver(packet)
-        branches = self.mcast_routes.get(packet.dst, ())
-        for link in branches:
-            self.packets_forwarded += 1
-            link.send(packet.copy())
+        if branches:
+            self.packets_forwarded += len(branches)
+            for link in branches:
+                link.send(packet.copy())
         if not delivered_locally and self._consume_hooks:
             # The original is consumed here: either replaced by per-branch
             # copies, or (no members, no branches) silently discarded.

@@ -37,6 +37,11 @@ class Gateway:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
+        #: Largest queue depth (in packets) ever reached.  Tracked natively
+        #: so experiments need no per-enqueue observer hook just to report
+        #: peak occupancy — keeping the common no-hook enqueue on its fast
+        #: path (hook lists empty, loop skipped entirely).
+        self.peak_depth = 0
         self._drop_hooks: List[DropHook] = []
         self._enqueue_hooks: List[EnqueueHook] = []
         self._dequeue_hooks: List[DequeueHook] = []
@@ -60,20 +65,27 @@ class Gateway:
 
     def _notify_drop(self, now: float, packet: Packet, reason: str) -> None:
         self.dropped += 1
-        for hook in self._drop_hooks:
-            hook(now, packet, reason)
+        hooks = self._drop_hooks
+        if hooks:
+            for hook in hooks:
+                hook(now, packet, reason)
 
     def _notify_dequeue(self, now: float, packet: Packet) -> None:
         for hook in self._dequeue_hooks:
             hook(now, packet)
 
     def _accept(self, now: float, packet: Packet) -> None:
-        self._queue.append(packet)
+        queue = self._queue
+        queue.append(packet)
         self.bytes_queued += packet.size
         self.enqueued += 1
-        depth = len(self._queue)
-        for hook in self._enqueue_hooks:
-            hook(now, packet, depth)
+        depth = len(queue)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        hooks = self._enqueue_hooks
+        if hooks:
+            for hook in hooks:
+                hook(now, packet, depth)
 
     # -- discipline interface -------------------------------------------
     def enqueue(self, now: float, packet: Packet) -> bool:

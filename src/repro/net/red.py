@@ -57,6 +57,11 @@ class REDQueue(Gateway):
         self.max_th = max_th
         self.w_q = w_q
         self.max_p = max_p
+        #: Hoisted ``max_th - min_th`` for the per-packet drop-probability
+        #: computation.  The same subtraction the inline expression would
+        #: perform, done once — bitwise-identical p_b, one fewer float op
+        #: per marked-region arrival.
+        self._th_span = max_th - min_th
         self.rng = rng
         #: When True, early notifications MARK ECN-capable packets instead
         #: of dropping them (RFC 3168 style; forced and overflow regions
@@ -76,8 +81,9 @@ class REDQueue(Gateway):
     # ------------------------------------------------------------------
     def _update_average(self, now: float) -> None:
         """Refresh ``avg`` at packet arrival, aging it across idle periods."""
-        if self._queue:
-            self.avg += self.w_q * (len(self._queue) - self.avg)
+        depth = len(self._queue)
+        if depth:
+            self.avg += self.w_q * (depth - self.avg)
             return
         # Queue empty: pretend m small packets arrived to an empty queue,
         # where m is how many packets could have been serviced while idle.
@@ -89,7 +95,7 @@ class REDQueue(Gateway):
 
     def _drop_probability(self) -> float:
         """The geometric inter-drop correction p_a from the RED paper."""
-        p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        p_b = self.max_p * (self.avg - self.min_th) / self._th_span
         p_b = min(p_b, self.max_p)
         if self.count * p_b >= 1.0:
             return 1.0

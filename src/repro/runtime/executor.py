@@ -45,6 +45,7 @@ class RunOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when the run completed without raising."""
         return self.error is None
 
 

@@ -48,6 +48,7 @@ class ChurnSpec:
     min_members: int = 1
 
     def validate(self) -> "ChurnSpec":
+        """Check parameter sanity; returns self for chaining."""
         if self.arrival_rate_per_s < 0:
             raise ConfigurationError(
                 f"negative arrival rate: {self.arrival_rate_per_s}"

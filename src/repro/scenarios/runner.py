@@ -56,16 +56,8 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
                    for _ in range(spec.receivers)]
         events = []
 
-    # -- observability: queue peaks, optional conservation audit -------
-    peak_depth = [0]
-
-    def _track_depth(_now: float, _packet, depth: int) -> None:
-        if depth > peak_depth[0]:
-            peak_depth[0] = depth
-
+    # -- observability: native queue peaks, optional conservation audit --
     gateways = [link.gateway for link in topo.net.links.values()]
-    for gw in gateways:
-        gw.on_enqueue(_track_depth)
     auditor = monitor = None
     if spec.audited:
         from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
@@ -111,7 +103,7 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
         sim_stats: Dict[str, float] = {
             "events": sim.events_executed,
             "drops": sum(gw.dropped for gw in gateways),
-            "peak_queue_depth": peak_depth[0],
+            "peak_queue_depth": max(gw.peak_depth for gw in gateways),
             "sim_time": sim.now,
         }
         if auditor is not None:

@@ -45,6 +45,7 @@ class ScenarioSpec:
     audited: bool = False
 
     def validate(self) -> "ScenarioSpec":
+        """Check field sanity (and nested specs); returns self for chaining."""
         if not self.name:
             raise ConfigurationError("scenario needs a name")
         if self.duration <= 0 or self.warmup < 0:

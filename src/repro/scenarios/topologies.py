@@ -59,6 +59,7 @@ class WaxmanTopology:
     buffer_pkts: Tuple[int, int] = (15, 40)
 
     def validate(self) -> "WaxmanTopology":
+        """Check parameter sanity; returns self for chaining."""
         if self.n < 3:
             raise TopologyError(f"Waxman graph needs >= 3 nodes, got {self.n}")
         if not (0.0 < self.alpha <= 1.0) or self.beta <= 0.0:
@@ -85,6 +86,7 @@ class TransitStubTopology:
     buffer_pkts: Tuple[int, int] = (15, 40)
 
     def validate(self) -> "TransitStubTopology":
+        """Check parameter sanity; returns self for chaining."""
         if self.transits < 1 or self.stubs_per_transit < 1 or self.hosts_per_stub < 1:
             raise TopologyError(
                 "transit-stub needs >= 1 transit, stub and host per level"
@@ -116,6 +118,7 @@ class JitteredTreeTopology:
     buffer_pkts: Tuple[int, int] = (15, 30)
 
     def validate(self) -> "JitteredTreeTopology":
+        """Check parameter sanity; returns self for chaining."""
         if self.depth < 1 or self.fanout < 1:
             raise TopologyError("tree needs depth >= 1 and fanout >= 1")
         if not (0.0 <= self.jitter < 1.0):
@@ -151,6 +154,7 @@ class GeneratedTopology:
 
     @property
     def n_links(self) -> int:
+        """Number of (directed) links the generator created."""
         return len(self.link_draws)
 
 

@@ -71,6 +71,7 @@ class BackgroundTraffic:
     mice_max_pkts: int = 500
 
     def validate(self) -> "BackgroundTraffic":
+        """Check parameter sanity; returns self for chaining."""
         if self.tcp_flows < 0 or self.pareto_sources < 0:
             raise ConfigurationError("flow counts must be >= 0")
         if self.mice_rate_per_s < 0:

@@ -11,17 +11,44 @@ on :mod:`heapq`:
 
 Determinism: same-seed runs replay exactly.  Ties are broken by insertion
 order, and all randomness must come from :class:`repro.sim.rng.RngStreams`.
+
+Hot-path layout (this engine executes a few million events per simulated
+minute, so its inner loop dominates every experiment's wall time):
+
+* Heap entries are ``(time, seq, Event)`` tuples, not :class:`Event`
+  objects.  Tuple comparison resolves on the leading float in C, so
+  sifting never calls ``Event.__lt__`` — which profiling showed was the
+  single hottest function in a figure-7 run (40M+ calls).  The
+  ``(time, seq)`` total order, and therefore replay determinism, is
+  exactly the order :class:`Event` defines.
+* Events scheduled for the *current* instant while the loop is running
+  bypass the heap entirely: they go to a FIFO "ready batch" drained
+  before any strictly later heap entry.  Correctness argument: such an
+  event's ``seq`` is larger than that of every queued event with the
+  same timestamp (those were necessarily scheduled earlier), so FIFO
+  draining after the heap's equal-time entries *is* ``(time, seq)``
+  order.  The batch is flushed back into the heap whenever :meth:`run`
+  returns, so introspection between runs sees one queue.
+* Cancellation stays lazy (skip at pop time) with the O(1) cancelled
+  counter and in-place compaction introduced in PR 1.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from .events import Event
 from .rng import RngStreams
 from .trace import Tracer
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: A heap entry; ordering is driven by the leading ``(time, seq)`` pair.
+Entry = Tuple[float, int, Event]
 
 
 class Simulator:
@@ -43,7 +70,10 @@ class Simulator:
 
     def __init__(self, seed: int = 1, trace: Optional[Tracer] = None) -> None:
         self.now: float = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Entry] = []
+        #: Same-timestamp fast lane: events scheduled at exactly ``now``
+        #: while :meth:`run` is draining.  Always empty between runs.
+        self._ready: Deque[Event] = deque()
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -77,10 +107,16 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time:.9f} before now={self.now:.9f}"
             )
-        event = Event(time, self._seq, callback, args, name=name)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, name=name)
         event._on_cancel = self._note_cancelled
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        if self._running and time == self.now:
+            # Same-instant batch: no heap churn, FIFO == (time, seq) order
+            # because this seq exceeds that of every queued equal-time event.
+            self._ready.append(event)
+        else:
+            _heappush(self._queue, (time, seq, event))
         return event
 
     def schedule_after(
@@ -90,10 +126,26 @@ class Simulator:
         *args: Any,
         name: Optional[str] = None,
     ) -> Event:
-        """Schedule ``callback(*args)`` after a non-negative ``delay``."""
+        """Schedule ``callback(*args)`` after a non-negative ``delay``.
+
+        This is the dominant scheduling entry point (links and timers use
+        relative delays exclusively), so :meth:`schedule` is inlined here:
+        ``now + delay`` can never be in the past once the delay is
+        non-negative, which drops one call and one comparison per event.
+        """
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        return self.schedule(self.now + delay, callback, *args, name=name)
+        now = self.now
+        time = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, name=name)
+        event._on_cancel = self._note_cancelled
+        if time == now and self._running:
+            self._ready.append(event)
+        else:
+            _heappush(self._queue, (time, seq, event))
+        return event
 
     # ------------------------------------------------------------------
     # execution
@@ -118,28 +170,48 @@ class Simulator:
         self._stopped = False
         executed = 0
         queue = self._queue
+        ready = self._ready
+        pop = _heappop
         try:
-            while queue:
+            while queue or ready:
                 if self._stopped:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                event = queue[0]
-                if event.cancelled:
-                    heapq.heappop(queue)
-                    self._cancelled -= 1
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(queue)
+                # Ready events carry the current timestamp and, per the
+                # invariant above, out-sequence every equal-time heap entry
+                # — so they run only once the heap holds nothing at `now`.
+                if ready and (not queue or queue[0][0] > self.now):
+                    event = ready.popleft()
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                else:
+                    entry = queue[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        pop(queue)
+                        self._cancelled -= 1
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
+                    pop(queue)
+                    self.now = entry[0]
                 event._on_cancel = None  # left the queue; cancel() is a no-op now
-                self.now = event.time
-                if self.event_hook is not None:
-                    self.event_hook(event)
+                hook = self.event_hook
+                if hook is not None:
+                    hook(event)
                 event.callback(*event.args)
                 executed += 1
         finally:
             self._running = False
+            if ready:
+                # stop()/max_events can leave immediates behind; park them
+                # back in the heap so peek()/pending() and the next run()
+                # see a single, totally ordered queue.
+                for event in ready:
+                    _heappush(queue, (event.time, event.seq, event))
+                ready.clear()
         if until is not None and not self._stopped and self.now < until:
             self.now = until
         self.events_executed += executed
@@ -162,7 +234,7 @@ class Simulator:
         """
         self._cancelled += 1
         if (self._cancelled >= self.COMPACT_MIN_CANCELLED
-                and self._cancelled * 2 > len(self._queue)):
+                and self._cancelled * 2 > len(self._queue) + len(self._ready)):
             self._compact()
 
     def _compact(self) -> None:
@@ -171,11 +243,16 @@ class Simulator:
         Safe at any point: heap order depends only on ``(time, seq)``,
         which survives the rebuild, so the pop order of the remaining
         live events — and therefore replay determinism — is unchanged.
-        In-place (slice assignment) because :meth:`run` holds a local
-        alias to the heap list while draining it.
+        In-place (slice assignment / deque mutation) because :meth:`run`
+        holds local aliases to both containers while draining them.
         """
-        self._queue[:] = [event for event in self._queue if not event.cancelled]
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2].cancelled]
         heapq.heapify(self._queue)
+        if self._ready:
+            live = [event for event in self._ready if not event.cancelled]
+            self._ready.clear()
+            self._ready.extend(live)
         self._cancelled = 0
 
     # ------------------------------------------------------------------
@@ -183,18 +260,27 @@ class Simulator:
     # ------------------------------------------------------------------
     def pending(self) -> int:
         """Number of non-cancelled events still queued (O(1))."""
-        return len(self._queue) - self._cancelled
+        return len(self._queue) + len(self._ready) - self._cancelled
 
     def queue_size(self) -> int:
-        """Physical heap size, including not-yet-compacted cancelled entries."""
-        return len(self._queue)
+        """Physical queue size, including not-yet-compacted cancelled entries."""
+        return len(self._queue) + len(self._ready)
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            _heappop(queue)
             self._cancelled -= 1
-        return self._queue[0].time if self._queue else None
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+            self._cancelled -= 1
+        if queue and ready:
+            return min(queue[0][0], ready[0].time)
+        if queue:
+            return queue[0][0]
+        return ready[0].time if ready else None
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,7 @@ class RttEstimator:
         self._backoff = 1.0
         self.samples = 0
         self.sample_sum = 0.0
+        self._rto_cached = self._compute_rto()
 
     def update(self, sample: float) -> None:
         """Fold one RTT measurement (seconds) into the estimate."""
@@ -41,9 +42,9 @@ class RttEstimator:
             self.rttvar += BETA * (abs(self.srtt - sample) - self.rttvar)
             self.srtt += ALPHA * (sample - self.srtt)
         self._backoff = 1.0
+        self._rto_cached = self._compute_rto()
 
-    def rto(self) -> float:
-        """Current retransmission timeout, including any backoff."""
+    def _compute_rto(self) -> float:
         if self.srtt is None:
             base = self.min_rto * 3  # conservative until the first sample
         else:
@@ -51,9 +52,21 @@ class RttEstimator:
             base = self.srtt + K * self.rttvar
         return min(self.max_rto, max(self.min_rto, base) * self._backoff)
 
+    def rto(self) -> float:
+        """Current retransmission timeout, including any backoff.
+
+        A pure function of the estimator state, so it is recomputed only
+        when that state changes (:meth:`update` / :meth:`backoff`): the
+        RLA sender takes the max over *every* receiver's estimator on
+        *every* ACK, which made this the hottest non-engine call in a
+        figure-7 profile.
+        """
+        return self._rto_cached
+
     def backoff(self) -> None:
         """Double the timer after a timeout (capped by ``max_rto``)."""
         self._backoff = min(self._backoff * 2.0, self.max_rto / self.min_rto)
+        self._rto_cached = self._compute_rto()
 
     def mean_rtt(self) -> float:
         """Arithmetic mean of all samples seen (paper's reported RTT)."""

@@ -218,3 +218,143 @@ def test_property_same_seed_same_stream(seed):
     a = Simulator(seed=seed).rng.stream("x")
     b = Simulator(seed=seed).rng.stream("x")
     assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+# ----------------------------------------------------------------------
+# same-timestamp ready batch (heap bypass for events scheduled at `now`)
+# ----------------------------------------------------------------------
+def test_ready_batch_runs_after_equal_time_heap_entries():
+    # Events already queued at time T were scheduled earlier (smaller
+    # seq), so immediates created while executing at T must run after
+    # every one of them — FIFO-after-heap IS (time, seq) order.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(sim.now, order.append, "immediate-1")
+        sim.schedule_after(0.0, order.append, "immediate-2")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "queued-tie")
+    sim.schedule(2.0, order.append, "later")
+    sim.run()
+    assert order == ["first", "queued-tie", "immediate-1",
+                     "immediate-2", "later"]
+
+
+def test_ready_batch_chain_preserves_fifo():
+    sim = Simulator()
+    order = []
+
+    def chain(n):
+        order.append(n)
+        if n < 5:
+            sim.schedule_after(0.0, chain, n + 1)
+            sim.schedule(sim.now, order.append, f"tail-{n}")
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert order == [0, 1, "tail-0", 2, "tail-1", 3, "tail-2",
+                     4, "tail-3", 5, "tail-4"]
+
+
+def test_ready_event_cancellation_honored():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        keep = sim.schedule(sim.now, fired.append, "keep")
+        drop = sim.schedule(sim.now, fired.append, "drop")
+        drop.cancel()
+        assert keep is not drop
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.pending() == 0
+
+
+def test_ready_batch_flushed_back_on_stop():
+    # stop() can leave immediates behind; they must survive into the
+    # next run() (via the heap) instead of being dropped.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(sim.now, order.append, "leftover")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first"]
+    assert sim.pending() == 1
+    assert sim.peek() == 1.0
+    sim.run()
+    assert order == ["first", "leftover"]
+
+
+def test_ready_batch_flushed_back_on_max_events():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        for i in range(3):
+            sim.schedule(sim.now, order.append, f"im-{i}")
+
+    sim.schedule(1.0, first)
+    executed = sim.run(max_events=2)
+    assert executed == 2
+    assert order == ["first", "im-0"]
+    assert sim.pending() == 2  # im-1, im-2 parked back in the heap
+    sim.run()
+    assert order == ["first", "im-0", "im-1", "im-2"]
+
+
+def test_peek_sees_ready_events_from_within_callback():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(sim.now, lambda: None)
+        seen.append(sim.peek())  # ready head, no heap entries at all
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_schedule_at_now_outside_run_uses_heap():
+    # The ready lane is only for events created *while running*; between
+    # runs everything must land in the one totally ordered queue.
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, "a")
+    assert sim.pending() == 1
+    assert sim.peek() == 0.0
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_ready_batch_replays_identically_under_compaction():
+    # Cancel-heavy immediates at one timestamp: compaction may run while
+    # the ready deque is populated; order and counts must be unaffected.
+    def run_once():
+        sim = Simulator()
+        sim.COMPACT_MIN_CANCELLED = 4
+        order = []
+
+        def burst():
+            events = [sim.schedule(sim.now, order.append, i)
+                      for i in range(20)]
+            for event in events[::2]:
+                event.cancel()
+
+        sim.schedule(1.0, burst)
+        sim.run()
+        return order, sim.events_executed
+
+    assert run_once() == run_once()
+    assert run_once()[0] == list(range(1, 20, 2))

@@ -1,0 +1,148 @@
+"""Tests for the repro.bench regression harness (suites, schema, compare)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SMOKE_SUITES,
+    SUITES,
+    compare_docs,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.bench.harness import bench_scale
+from repro.bench.suites import resolve
+
+
+def _doc(events_per_s, duration=8.0, warmup=3.0):
+    """A minimal valid document with the given per-suite events/sec."""
+    return {
+        "schema": SCHEMA,
+        "label": "test",
+        "created_unix": 0,
+        "environment": {"duration": duration, "warmup": warmup},
+        "suites": {
+            name: {"wall_s": 1.0, "events": int(eps), "packets": 0,
+                   "events_per_s": eps, "packets_per_s": 0.0}
+            for name, eps in events_per_s.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_contents():
+    assert set(SUITES) == {"engine", "fig7", "fig9", "scenarios"}
+    assert set(SMOKE_SUITES) <= set(SUITES)
+
+
+def test_resolve_rejects_unknown_suite():
+    with pytest.raises(KeyError, match="unknown bench suite"):
+        resolve(["engine", "nope"])
+
+
+def test_bench_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "2.5")
+    monkeypatch.setenv("REPRO_BENCH_WARMUP", "0.5")
+    assert bench_scale() == {"duration": 2.5, "warmup": 0.5}
+    # explicit args beat the env
+    assert bench_scale(duration=1.0, warmup=0.0) == {
+        "duration": 1.0, "warmup": 0.0}
+
+
+# ----------------------------------------------------------------------
+# harness / schema
+# ----------------------------------------------------------------------
+def test_run_benchmarks_engine_document(tmp_path):
+    doc = run_benchmarks(names=["engine"], scale=bench_scale(1.0, 0.0),
+                         label="t")
+    assert doc["schema"] == SCHEMA
+    row = doc["suites"]["engine"]
+    assert row["events"] > 0 and row["wall_s"] > 0
+    assert row["events_per_s"] == pytest.approx(
+        row["events"] / row["wall_s"], rel=1e-3)
+    env = doc["environment"]
+    assert {"python", "platform", "cpu_count",
+            "duration", "warmup"} <= set(env)
+    path = tmp_path / "BENCH_t.json"
+    write_report(doc, str(path))
+    assert load_report(str(path))["suites"]["engine"]["events"] == row["events"]
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/v9", "suites": {}}))
+    with pytest.raises(ValueError, match="schema"):
+        load_report(str(path))
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def test_compare_ok_within_threshold():
+    base = _doc({"engine": 1000.0, "fig7": 500.0})
+    cur = _doc({"engine": 900.0, "fig7": 480.0})
+    report = compare_docs(cur, base, threshold=0.25)
+    assert report.ok
+    assert [d.status for d in report.deltas] == ["ok", "ok"]
+    assert "OK" in report.format()
+
+
+def test_compare_flags_regression():
+    base = _doc({"engine": 1000.0, "fig7": 500.0})
+    cur = _doc({"engine": 700.0, "fig7": 500.0})
+    report = compare_docs(cur, base, threshold=0.25)
+    assert not report.ok
+    assert [d.name for d in report.regressed] == ["engine"]
+    assert "REGRESSION" in report.format()
+
+
+def test_compare_improvement_and_membership_changes():
+    base = _doc({"engine": 1000.0, "gone": 1.0})
+    cur = _doc({"engine": 2000.0, "fresh": 1.0})
+    report = compare_docs(cur, base)
+    by_name = {d.name: d.status for d in report.deltas}
+    assert by_name == {"engine": "improved", "gone": "removed",
+                       "fresh": "new"}
+    assert report.ok  # new/removed/improved never fail the check
+
+
+def test_compare_scale_mismatch_flagged():
+    base = _doc({"engine": 1000.0}, duration=60.0)
+    cur = _doc({"engine": 1000.0}, duration=8.0)
+    report = compare_docs(cur, base)
+    assert report.scale_mismatch
+    assert "not" in report.format()  # wall times not comparable note
+
+
+def test_compare_threshold_validation():
+    doc = _doc({"engine": 1.0})
+    with pytest.raises(ValueError, match="threshold"):
+        compare_docs(doc, copy.deepcopy(doc), threshold=1.5)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list_and_compare(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in SUITES:
+        assert name in out
+
+    good = tmp_path / "good.json"
+    slow = tmp_path / "slow.json"
+    write_report(_doc({"engine": 1000.0}), str(good))
+    write_report(_doc({"engine": 100.0}), str(slow))
+    assert main(["compare", str(good), str(good)]) == 0
+    assert main(["compare", str(slow), str(good)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out

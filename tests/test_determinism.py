@@ -50,3 +50,32 @@ def test_same_seed_bitwise_identical():
 
 def test_different_seed_diverges():
     assert _run(1234) != _run(4321)
+
+
+# ----------------------------------------------------------------------
+# execution-mode byte identity (PR 4): the hot-path fast paths must not
+# depend on how a run is executed or observed.
+# ----------------------------------------------------------------------
+def _strip_audit(rows):
+    import copy
+
+    rows = copy.deepcopy(rows)
+    for row in rows:
+        row["sim_stats"].pop("audit_checks", None)
+        row["sim_stats"].pop("violations", None)
+    return rows
+
+
+def test_sweep_serial_parallel_audited_byte_identical():
+    import pickle
+
+    from repro.experiments.sweeps import sweep_receiver_count
+
+    kwargs = dict(counts=(2,), duration=6.0, warmup=2.0, seed=11)
+    serial = sweep_receiver_count(**kwargs)
+    parallel = sweep_receiver_count(workers=2, **kwargs)
+    audited = sweep_receiver_count(audited=True, **kwargs)
+    assert audited[0]["sim_stats"]["audit_checks"] > 0
+    blob = pickle.dumps(serial)
+    assert blob == pickle.dumps(parallel)
+    assert blob == pickle.dumps(_strip_audit(audited))
