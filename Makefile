@@ -17,12 +17,15 @@ bench:
 # per-PR record (see docs/PERFORMANCE.md for the schema and knobs).
 bench-harness:
 	PYTHONPATH=src $(PYTHON) -m repro.bench run --label local \
-		--out BENCH_local.json --compare BENCH_4.json
+		--out BENCH_local.json --compare BENCH_5.json
 
-# The fast 2-suite subset CI runs on every push (>25% slowdown fails).
+# The fast smoke subset CI runs on every push (>25% slowdown fails):
+# engine + fig7 plus the two smallest receiver-scaling sizes, so the RLA
+# sender's incremental aggregates stay under the regression gate.
 # 3 repeats (min wins) because CI runners are noisy single-tenant VMs.
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.bench run --suites engine,fig7 \
+	PYTHONPATH=src $(PYTHON) -m repro.bench run \
+		--suites engine,fig7,rla_scale_4,rla_scale_64 \
 		--label ci --out BENCH_ci.json --repeats 3 \
 		--compare benchmarks/BENCH_ci_baseline.json
 

@@ -64,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("baseline", help="committed baseline document")
     cmp_p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                        help="allowed fractional slowdown (default 0.25)")
+    cmp_p.add_argument("--suites", default=None,
+                       help="comma-separated subset to gate on "
+                            "(default: every suite in either document)")
 
     sub.add_parser("list", help="list registered suites")
     return parser
@@ -81,9 +84,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
+        suites = args.suites.split(",") if args.suites else None
         report = compare_docs(load_report(args.current),
                               load_report(args.baseline),
-                              threshold=args.threshold)
+                              threshold=args.threshold, suites=suites)
         print(report.format())
         return 0 if report.ok else 1
 
@@ -96,8 +100,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     write_report(doc, out)
     print(f"[repro.bench] wrote {out}")
     if args.compare:
+        # A subset run gates on exactly the suites it ran; the baseline's
+        # other entries are out of scope, not "removed".
         report = compare_docs(doc, load_report(args.compare),
-                              threshold=args.threshold)
+                              threshold=args.threshold, suites=names)
         print(report.format())
         return 0 if report.ok else 1
     return 0

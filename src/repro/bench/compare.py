@@ -11,7 +11,7 @@ baseline; new or removed suites are reported but never fail the check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 #: Default allowed fractional slowdown before a suite counts as regressed.
 DEFAULT_THRESHOLD = 0.25
@@ -74,12 +74,24 @@ def compare_docs(
     current: Mapping[str, Any],
     baseline: Mapping[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    suites: Optional[Iterable[str]] = None,
 ) -> ComparisonReport:
-    """Compare two loaded benchmark documents suite by suite."""
+    """Compare two loaded benchmark documents suite by suite.
+
+    ``suites`` restricts the comparison to the named suites: a CI job
+    that runs only a subset can gate on exactly that subset instead of
+    seeing every other baseline entry reported as ``removed``.  Names
+    absent from both documents are ignored (the caller may be gating a
+    baseline that predates a suite's introduction).
+    """
     if not 0 < threshold < 1:
         raise ValueError(f"threshold must be in (0, 1), got {threshold}")
     cur_suites: Dict[str, Any] = current.get("suites", {})
     base_suites: Dict[str, Any] = baseline.get("suites", {})
+    if suites is not None:
+        wanted = set(suites)
+        cur_suites = {k: v for k, v in cur_suites.items() if k in wanted}
+        base_suites = {k: v for k, v in base_suites.items() if k in wanted}
     cur_env = current.get("environment", {})
     base_env = baseline.get("environment", {})
     report = ComparisonReport(

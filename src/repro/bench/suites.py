@@ -86,6 +86,86 @@ def _scenarios(scale: Mapping[str, float]) -> int:
     return events
 
 
+def _rla_scale_run(n_receivers: int, scale: Mapping[str, float]) -> int:
+    """Receiver-scaling star: constant event budget, growing group size.
+
+    One RLA session over a pure star — every receiver hangs directly off
+    the sender on its own link, with per-link bandwidth scaled as
+    ``1/n_receivers`` so the aggregate ACK rate at the sender (and hence
+    the total event count) is the same at every group size.  Delays are
+    symmetric and queues deep enough to stay loss-free, so wall time
+    isolates the sender's per-ACK aggregate maintenance: every ACK lands
+    in the ``min_last_ack`` cohort and re-arms the max-RTO watchdog.
+
+    From t=1.0s one member per 10ms is cycled out of and straight back
+    into the session *at the agent level* (the distribution tree stays
+    static; the ejected member's node is unbound and a fresh receiver is
+    bound synced to the join point, exactly how ``session.add_member``
+    wires late joiners) — exercising the join/leave reach-count and
+    aggregate maintenance without dragging multicast-tree rebuild cost
+    into the measurement.
+    """
+    from ..net.droptail import DropTailQueue
+    from ..net.network import Network
+    from ..rla.config import RLAConfig
+    from ..rla.receiver import RLAReceiver
+    from ..rla.session import RLASession
+    from ..sim.engine import Simulator
+    from ..units import mbps, ms
+
+    sim = Simulator(seed=11)
+    net = Network(sim)
+    members = []
+    for i in range(n_receivers):
+        rid = f"R{i}"
+        members.append(rid)
+        net.add_link("S", rid, mbps(32.768 / n_receivers), ms(10.0),
+                     queue_factory=lambda name: DropTailQueue(300))
+    # Manual routes: all-pairs shortest paths are O(n^2) on a star and
+    # irrelevant to what this suite measures.
+    src = net.node("S")
+    for rid in members:
+        src.add_route(rid, net.links[("S", rid)])
+        net.node(rid).add_route("S", net.links[(rid, "S")])
+    config = RLAConfig(ack_jitter=0.0)
+    session = RLASession(sim, net, "rla-scale", "S", members, config=config)
+    session.start(0.01)
+
+    counter = [0]
+
+    def churn() -> None:
+        rid = members[counter[0] % len(members)]
+        counter[0] += 1
+        sender = session.sender
+        if len(sender.receivers) > 1 and rid in sender.receivers:
+            node = net.node(rid)
+            sender.remove_receiver(rid)
+            node.unbind("rla-scale")
+            sync_seq = sender.add_receiver(rid)
+            fresh = RLAReceiver(sim, node, "rla-scale", "S",
+                                config=config, start_seq=sync_seq)
+            node.bind("rla-scale", fresh.on_packet)
+        sim.schedule_after(0.01, churn)
+
+    sim.schedule_after(1.0, churn)
+    warmup = scale["warmup"]
+    sim.run(until=warmup)
+    session.mark()
+    sim.run(until=warmup + scale["duration"])
+    session.report()
+    return sim.events_executed
+
+
+def _rla_scale(n_receivers: int) -> Callable[[Mapping[str, float]], int]:
+    """Bind one receiver count into a suite-shaped run callable."""
+    def run(scale: Mapping[str, float]) -> int:
+        return _rla_scale_run(n_receivers, scale)
+    return run
+
+
+#: Group sizes the receiver-scaling sweep registers suites for.
+RLA_SCALE_SIZES = (4, 64, 256, 1024)
+
 #: name -> Suite, in canonical run order.
 SUITES: Dict[str, Suite] = {
     suite.name: suite
@@ -98,11 +178,19 @@ SUITES: Dict[str, Suite] = {
               _fig9, "bench_fig9_red.py"),
         Suite("scenarios", "catalog smoke: waxman-churn + tree-bursty",
               _scenarios, "bench_sweeps.py / scenarios catalog"),
+        *(
+            Suite(f"rla_scale_{n}",
+                  f"RLA receiver-scaling star, {n} receivers + agent churn",
+                  _rla_scale(n), "rla_scale probe / docs/PERFORMANCE.md")
+            for n in RLA_SCALE_SIZES
+        ),
     )
 }
 
-#: The fast subset the CI ``bench-smoke`` job runs on every push.
-SMOKE_SUITES = ("engine", "fig7")
+#: The fast subset the CI ``bench-smoke`` job runs on every push (the two
+#: smallest receiver-scaling sizes keep the incremental-aggregate paths
+#: under the regression gate without the big groups' wall time).
+SMOKE_SUITES = ("engine", "fig7", "rla_scale_4", "rla_scale_64")
 
 
 def resolve(names) -> Dict[str, Suite]:

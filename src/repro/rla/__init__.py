@@ -5,12 +5,14 @@ from .congestion import TroubleTracker
 from .generalized import GeneralizedRLASession, rtt_scaling
 from .policy import LaggardDropPolicy
 from .receiver import RLAReceiver
+from .reference import NaiveRLASender
 from .sender import RLASender
 from .session import RLASession
 from .state import ReceiverState
 
 __all__ = [
     "LaggardDropPolicy",
+    "NaiveRLASender",
     "RLAConfig",
     "RLAReceiver",
     "RLASender",

@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 from ..net.network import Network
 from ..sim.engine import Simulator
 from .config import RLAConfig
+from .sender import RLASender
 from .session import RLASession
 
 
@@ -34,7 +35,14 @@ def rtt_scaling(srtt: float, srtt_max: float, exponent: float = 2.0) -> float:
 
 
 class GeneralizedRLASession(RLASession):
-    """An :class:`RLASession` with RTT-scaled listening enabled."""
+    """An :class:`RLASession` with RTT-scaled listening enabled.
+
+    ``sender_cls`` passes through to :class:`RLASession`, so the §5.3
+    variant rides the same (incremental) aggregate paths as the
+    restricted RLA — and can equally be driven with the
+    :class:`~repro.rla.reference.NaiveRLASender` oracle in equivalence
+    tests.
+    """
 
     def __init__(
         self,
@@ -45,6 +53,8 @@ class GeneralizedRLASession(RLASession):
         members: Iterable[str],
         config: Optional[RLAConfig] = None,
         group: Optional[str] = None,
+        sender_cls: type = RLASender,
     ) -> None:
         config = replace(config or RLAConfig(), rtt_scaled_pthresh=True)
-        super().__init__(sim, net, flow, src, members, config=config, group=group)
+        super().__init__(sim, net, flow, src, members, config=config,
+                         group=group, sender_cls=sender_cls)

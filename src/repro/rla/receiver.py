@@ -19,7 +19,24 @@ from .config import RLAConfig
 
 
 class RLAReceiver:
-    """One member of an RLA multicast session."""
+    """One member of an RLA multicast session.
+
+    Slotted: one instance per group member, hot on every data delivery.
+    """
+
+    __slots__ = (
+        "sim",
+        "node",
+        "flow",
+        "sender_id",
+        "config",
+        "start_seq",
+        "tracker",
+        "_ack_rng",
+        "acks_sent",
+        "duplicates",
+        "joined_at",
+    )
 
     def __init__(
         self,

@@ -1,0 +1,68 @@
+"""Reference RLA sender with naive whole-group aggregate recomputation.
+
+:class:`NaiveRLASender` overrides every incremental-maintenance hook of
+:class:`~repro.rla.sender.RLASender` with a from-scratch recomputation —
+the pre-optimization O(n_receivers) / O(n_receivers × window) behavior.
+It exists purely as an equivalence oracle:
+
+* the aggregate property tests drive an incremental sender through
+  random ACK / join / leave / retransmit interleavings and check its
+  maintained aggregates against these full recomputations;
+* the churn byte-identity test runs a whole scenario under each sender
+  class and asserts pickle-identical rows.
+
+It is deliberately not registered anywhere a production run would pick
+it up.
+"""
+
+from __future__ import annotations
+
+from .sender import _DEFAULT_SRTT, RLASender
+from .state import ReceiverState
+
+
+class NaiveRLASender(RLASender):
+    """An :class:`RLASender` that recomputes every aggregate in full."""
+
+    def _ack_advanced(self, state: ReceiverState, old_last_ack: int) -> None:
+        self._min_last_ack = min(s.last_ack for s in self.receivers.values())
+
+    def _note_rtt_sample(self, state: ReceiverState) -> None:
+        pass  # nothing cached, nothing to maintain
+
+    def _max_srtt(self) -> float:
+        return max(st.srtt(_DEFAULT_SRTT) for st in self.receivers.values())
+
+    def _rto(self) -> float:
+        return max(st.rtt.rto() for st in self.receivers.values())
+
+    def _join_aggregates(self, state: ReceiverState) -> None:
+        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+
+    def _leave_aggregates(self, state: ReceiverState) -> None:
+        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+
+    def _join_reach(self, state: ReceiverState) -> None:
+        # Recompute completion for every in-flight packet against the
+        # grown receiver set (the joiner holds everything by definition,
+        # so holders >= 1 always and no completion can fire).
+        self._reach = {}
+        for seq in sorted(self._send_time):
+            holders = sum(1 for st in self.receivers.values() if st.has(seq))
+            if holders >= self.n_receivers:
+                self._on_full_ack(seq)
+            else:
+                self._reach[seq] = holders
+
+    def _leave_reach(self, state: ReceiverState) -> None:
+        # Old reach counts may include the departed receiver's ACKs, so
+        # recompute completion for every pending packet from the
+        # remaining receivers' actual state.
+        pending = sorted(self._reach)
+        self._reach = {}
+        for seq in pending:
+            holders = sum(1 for st in self.receivers.values() if st.has(seq))
+            if holders >= self.n_receivers:
+                self._on_full_ack(seq)
+            elif holders > 0:
+                self._reach[seq] = holders

@@ -23,6 +23,26 @@ Retransmissions (footnote 8): the sender waits roughly one (largest) RTT
 to hear from all receivers, then multicasts the repair if more than
 ``rexmit_thresh`` receivers want it, else unicasts to each requester; a
 retry loop guarantees eventual delivery, making the session reliable.
+
+Scaling note: every whole-group aggregate the per-ACK path needs —
+``min_last_ack``, the largest receiver SRTT, the largest receiver RTO,
+and the reached-all counts — is maintained *incrementally*, so the cost
+per ACK is amortized O(1) in the number of receivers:
+
+* ``_min_last_ack`` carries ``_min_count`` (how many receivers sit at
+  the minimum); an O(n) rescan happens only when the whole min cohort
+  has advanced, i.e. at most once per cohort per window step.
+* max-SRTT / max-RTO are owner-tagged caches: a new sample either takes
+  over the maximum (O(1)) or, when the owner's own value shrinks,
+  lazily invalidates the cache (rescan deferred to the next read).
+* membership changes touch only the joining/leaving receiver's holdings
+  in ``_reach`` instead of rescanning every receiver per in-flight seq.
+
+The maintenance hooks (``_ack_advanced``, ``_note_rtt_sample``,
+``_join_*`` / ``_leave_*``) are overridden by
+:class:`repro.rla.reference.NaiveRLASender`, which recomputes every
+aggregate from scratch — the equivalence oracle for property and
+byte-identity tests.
 """
 
 from __future__ import annotations
@@ -75,7 +95,18 @@ class RLASender:
         self.snd_nxt = 0
         self.max_reach_all = -1          # highest seq received by ALL receivers
         self._min_last_ack = 0
+        #: receivers whose last_ack equals ``_min_last_ack``; the min is
+        #: rescanned only when this count drains to zero.
+        self._min_count = self.n_receivers
         self.last_window_cut = sim.now
+
+        # aggregate caches: value + the receiver that owns it.  An owner
+        # of ``None`` marks the cache dirty (rescan on next read); while
+        # owned, samples either take the max over in O(1) or invalidate.
+        self._max_srtt_cache = _DEFAULT_SRTT
+        self._max_srtt_owner: Optional[ReceiverState] = None
+        self._max_rto_cache = 0.0
+        self._max_rto_owner: Optional[ReceiverState] = None
 
     # reliability state
         self._reach: Dict[int, int] = {}          # seq -> receivers holding it
@@ -105,6 +136,12 @@ class RLASender:
         self._cwnd_clock = sim.now
         self.rtt_all_sum = 0.0
         self.rtt_all_samples = 0
+        #: per-receiver signal counters, maintained on each congestion
+        #: signal and mirroring ``self.receivers`` insertion order so a
+        #: :meth:`stats` snapshot is an O(n) dict copy, not a rebuild.
+        self._signals_by_receiver: Dict[str, int] = {
+            rid: 0 for rid in self.receivers
+        }
 
     # ------------------------------------------------------------------
     # public control
@@ -142,8 +179,68 @@ class RLASender:
         """Smallest cumulative ACK point over all receivers (§3.3)."""
         return self._min_last_ack
 
+    # ------------------------------------------------------------------
+    # incremental aggregates
+    # ------------------------------------------------------------------
+    def _rescan_min_last_ack(self) -> None:
+        """Full O(n) min rescan; runs only when the min cohort drained."""
+        lowest = None
+        count = 0
+        for st in self.receivers.values():
+            la = st.last_ack
+            if lowest is None or la < lowest:
+                lowest, count = la, 1
+            elif la == lowest:
+                count += 1
+        assert lowest is not None
+        self._min_last_ack = lowest
+        self._min_count = count
+
+    def _ack_advanced(self, state: ReceiverState, old_last_ack: int) -> None:
+        """Maintain ``_min_last_ack`` after ``state``'s cumulative point grew.
+
+        ``last_ack`` only ever increases, so the minimum can change only
+        when a member of the current min cohort advances past it.
+        """
+        if old_last_ack == self._min_last_ack:
+            self._min_count -= 1
+            if not self._min_count:
+                self._rescan_min_last_ack()
+
+    def _note_rtt_sample(self, state: ReceiverState) -> None:
+        """Maintain the max-SRTT / max-RTO caches after an RTT sample.
+
+        A sample at or above the cached maximum takes ownership in O(1);
+        a shrinking owner invalidates its cache (rescan deferred to the
+        next :meth:`_max_srtt` / :meth:`_rto` read).  RLA never calls
+        ``RttEstimator.backoff``, so samples are the only RTO mutations.
+        """
+        srtt = state.rtt.srtt
+        if self._max_srtt_owner is not None:
+            if srtt >= self._max_srtt_cache:
+                self._max_srtt_cache = srtt
+                self._max_srtt_owner = state
+            elif self._max_srtt_owner is state:
+                self._max_srtt_owner = None
+        rto = state.rtt.rto()
+        if self._max_rto_owner is not None:
+            if rto >= self._max_rto_cache:
+                self._max_rto_cache = rto
+                self._max_rto_owner = state
+            elif self._max_rto_owner is state:
+                self._max_rto_owner = None
+
     def _max_srtt(self) -> float:
-        return max(state.srtt(_DEFAULT_SRTT) for state in self.receivers.values())
+        if self._max_srtt_owner is None:
+            best = None
+            best_v = 0.0
+            for st in self.receivers.values():
+                v = st.srtt(_DEFAULT_SRTT)
+                if best is None or v > best_v:
+                    best, best_v = st, v
+            self._max_srtt_owner = best
+            self._max_srtt_cache = best_v
+        return self._max_srtt_cache
 
     # ------------------------------------------------------------------
     # ACK path
@@ -155,11 +252,12 @@ class RLASender:
         now = self.sim.now
         if packet.echo_ts > 0:
             state.rtt.update(now - packet.echo_ts)
+            self._note_rtt_sample(state)
 
         old_last_ack = state.last_ack
         newly = state.update_ack(packet.ack if packet.ack is not None else 0, packet.sack)
-        if state.last_ack != old_last_ack and old_last_ack == self._min_last_ack:
-            self._min_last_ack = min(s.last_ack for s in self.receivers.values())
+        if state.last_ack != old_last_ack:
+            self._ack_advanced(state, old_last_ack)
         for seq in newly:
             self._count_reach(seq)
 
@@ -217,13 +315,6 @@ class RLASender:
         :class:`~repro.rla.receiver.RLAReceiver` must be built with
         ``start_seq`` equal to the returned value so both ends agree on
         where the joiner's stream begins.
-
-        Reached-all counts are recomputed over every in-flight sequence
-        (the keys of ``_send_time``), not just the partially-ACKed ones:
-        a sequence with no ACKs yet is absent from ``_reach``, and if it
-        did not pick up the joiner as an implicit holder it could only
-        ever collect ``n - 1`` explicit ACKs — ``max_reach_all`` would
-        freeze and the cwnd-edge of the send window would deadlock.
         """
         if receiver_id in self.receivers:
             return self.snd_nxt  # idempotent: already a member
@@ -236,21 +327,49 @@ class RLASender:
         state.observation_start = now
         self.receivers[receiver_id] = state
         self.n_receivers += 1
-        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
-        # Recompute completion for every in-flight packet against the
-        # grown receiver set.  Every such seq is below the sync point, so
-        # the joiner holds it by definition (``has`` consults last_ack)
-        # and holders >= 1 always.
-        self._reach = {}
-        for seq in sorted(self._send_time):
-            holders = sum(1 for st in self.receivers.values() if st.has(seq))
-            if holders >= self.n_receivers:
-                self._on_full_ack(seq)
-            else:
-                self._reach[seq] = holders
+        self._signals_by_receiver[receiver_id] = 0
+        self._join_aggregates(state)
+        self._join_reach(state)
         self.tracker.recount(now, self.receivers.values())
         self._try_send()
         return sync_seq
+
+    def _join_aggregates(self, state: ReceiverState) -> None:
+        """Fold a joiner into min-last-ack and the max-SRTT/RTO caches.
+
+        The joiner's ``last_ack`` is ``snd_nxt``, at or above every
+        existing cumulative point, so the minimum itself cannot change —
+        only its cohort count when the session has nothing outstanding.
+        """
+        if state.last_ack == self._min_last_ack:
+            self._min_count += 1
+        if self._max_srtt_owner is not None:
+            v = state.srtt(_DEFAULT_SRTT)
+            if v >= self._max_srtt_cache:
+                self._max_srtt_cache = v
+                self._max_srtt_owner = state
+        if self._max_rto_owner is not None:
+            rto = state.rtt.rto()
+            if rto >= self._max_rto_cache:
+                self._max_rto_cache = rto
+                self._max_rto_owner = state
+
+    def _join_reach(self, state: ReceiverState) -> None:
+        """Count the joiner into every in-flight sequence's reach count.
+
+        Every in-flight seq is below the sync point, so the joiner holds
+        it by definition (``has`` consults ``last_ack``).  No completion
+        can fire here: a pre-join count is at most ``n - 2`` (a count of
+        ``n - 1`` would already have completed), so the new count is at
+        most ``n - 1`` against the grown threshold.  Sequences with no
+        explicit ACKs yet must still be counted — if one missed the
+        joiner as an implicit holder it could only ever collect ``n - 1``
+        explicit ACKs, freezing ``max_reach_all`` and deadlocking the
+        cwnd-edge of the send window.
+        """
+        reach = self._reach
+        for seq in self._send_time:
+            reach[seq] = reach.get(seq, 0) + 1
 
     def remove_receiver(self, receiver_id: str) -> None:
         """Eject a receiver from the session (§4.3's drop-the-laggard option).
@@ -268,28 +387,54 @@ class RLASender:
             self.receivers[receiver_id] = state
             raise ConfigurationError("cannot remove the last receiver")
         self.n_receivers -= 1
-        self._min_last_ack = min(st.last_ack for st in self.receivers.values())
+        del self._signals_by_receiver[receiver_id]
+        self._leave_aggregates(state)
         # Purge pending retransmit requests from the departed receiver: a
         # decision timer armed before the ejection would otherwise look its
         # id up in ``receivers`` and crash (or, worse, repair for a member
         # that left).  Empty requester sets are left for the timer to pop.
         for requesters in self._rtx_requests.values():
             requesters.discard(receiver_id)
-        # Old reach counts may include the departed receiver's ACKs, so
-        # recompute completion for every pending packet from the remaining
-        # receivers' actual state.
-        pending = sorted(self._reach)
-        self._reach = {}
-        for seq in pending:
-            holders = sum(1 for st in self.receivers.values() if st.has(seq))
-            if holders >= self.n_receivers:
-                self._on_full_ack(seq)
-            elif holders > 0:
-                # zero counts stay absent: _count_reach treats a missing
-                # entry as zero, and the audit layer checks 0 < count < n
-                self._reach[seq] = holders
+        self._leave_reach(state)
         self.tracker.recount(self.sim.now, self.receivers.values())
         self._try_send()
+
+    def _leave_aggregates(self, state: ReceiverState) -> None:
+        """Retire a leaver from min-last-ack and the max-SRTT/RTO caches."""
+        if state.last_ack == self._min_last_ack:
+            self._min_count -= 1
+            if not self._min_count:
+                self._rescan_min_last_ack()
+        if self._max_srtt_owner is state:
+            self._max_srtt_owner = None
+        if self._max_rto_owner is state:
+            self._max_rto_owner = None
+
+    def _leave_reach(self, state: ReceiverState) -> None:
+        """Subtract the leaver's holdings from the reach counts.
+
+        Only the departed receiver's own ``has`` is consulted per pending
+        sequence; the shrunken threshold completes exactly the sequences
+        it was the last holdout for, in ascending order (completion order
+        feeds float accumulators, so it must match a full sorted rebuild).
+        Zero counts are dropped: ``_count_reach`` treats a missing entry
+        as zero, and the audit layer checks ``0 < count < n``.
+        """
+        reach = self._reach
+        completed = []
+        for seq in list(reach):
+            if state.has(seq):
+                count = reach[seq] - 1
+                if count:
+                    reach[seq] = count
+                else:
+                    del reach[seq]
+            elif reach[seq] >= self.n_receivers:
+                del reach[seq]
+                completed.append(seq)
+        completed.sort()
+        for seq in completed:
+            self._on_full_ack(seq)
 
     # ------------------------------------------------------------------
     # congestion reaction (the random listening core)
@@ -298,6 +443,7 @@ class RLASender:
         now = self.sim.now
         self.congestion_signals += 1
         self.tracker.record_signal(state, now, self.receivers.values())
+        self._signals_by_receiver[state.id] = state.signals
         if not state.troubled:
             return  # rare loss from a non-troubled receiver: skip (rule 3)
         cfg = self.config
@@ -425,8 +571,16 @@ class RLASender:
     # timeout safety net
     # ------------------------------------------------------------------
     def _rto(self) -> float:
-        rtos = [st.rtt.rto() for st in self.receivers.values()]
-        return max(rtos)
+        if self._max_rto_owner is None:
+            best = None
+            best_v = 0.0
+            for st in self.receivers.values():
+                v = st.rtt.rto()
+                if best is None or v > best_v:
+                    best, best_v = st, v
+            self._max_rto_owner = best
+            self._max_rto_cache = best_v
+        return self._max_rto_cache
 
     def _on_timeout(self) -> None:
         """No ACK from anyone for a full RTO — treat like a TCP timeout."""
@@ -463,7 +617,10 @@ class RLASender:
             "max_reach_all": self.max_reach_all,
             "rtt_all_sum": self.rtt_all_sum,
             "rtt_all_samples": self.rtt_all_samples,
-            "signals_by_receiver": {rid: st.signals for rid, st in self.receivers.items()},
+            # a plain copy (the maintained dict mirrors ``receivers``
+            # insertion order, so snapshots pickle identically to a
+            # freshly built comprehension)
+            "signals_by_receiver": dict(self._signals_by_receiver),
             "num_trouble": self.tracker.num_trouble,
             "time": self.sim.now,
         }

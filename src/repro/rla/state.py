@@ -16,7 +16,29 @@ SackBlock = Tuple[int, int]
 
 
 class ReceiverState:
-    """Everything the sender knows about one receiver."""
+    """Everything the sender knows about one receiver.
+
+    Slotted: the sender keeps one instance per receiver and large groups
+    hold thousands on the per-ACK path, so attribute access goes through
+    fixed slots rather than a per-instance dict (matching ``Packet`` and
+    ``Event``).  Instances hash by identity, which the trouble tracker's
+    per-recount interval map relies on.
+    """
+
+    __slots__ = (
+        "id",
+        "last_ack",
+        "_sacked",
+        "max_sacked",
+        "rtt",
+        "cperiod_start",
+        "interval_ewma",
+        "last_signal_time",
+        "observation_start",
+        "signals",
+        "troubled",
+        "lost_marks",
+    )
 
     def __init__(self, receiver_id: str, min_rto: float = 1.0, max_rto: float = 64.0) -> None:
         self.id = receiver_id

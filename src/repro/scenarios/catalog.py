@@ -71,6 +71,25 @@ def _transit_stub_mice() -> ScenarioSpec:
     )
 
 
+def _tree_large_churn() -> ScenarioSpec:
+    """Large-group churn: a 64-leaf tree with the whole edge subscribed.
+
+    Sized for the receiver-scaling work: all 64 leaves start as members
+    (joins refill behind the leave process), so conservation-audited runs
+    cover the sender's incremental min/max/reach maintenance at a group
+    size where a full-rescan regression would be visible in CI wall time.
+    """
+    return ScenarioSpec(
+        name="tree-large-churn",
+        topology=JitteredTreeTopology(depth=3, fanout=4),
+        traffic=BackgroundTraffic(tcp_flows=2),
+        churn=ChurnSpec(arrival_rate_per_s=1.5, mean_hold_s=20.0,
+                        initial_members=64, min_members=56),
+        duration=30.0,
+        warmup=10.0,
+    )
+
+
 def _tree_bursty() -> ScenarioSpec:
     return ScenarioSpec(
         name="tree-bursty",
@@ -101,6 +120,10 @@ CATALOG: Dict[str, Tuple[Callable[[], ScenarioSpec], str]] = {
     "transit-stub-mice": (
         _transit_stub_mice,
         "web-mice flash crowd on a transit-stub topology with RED gateways",
+    ),
+    "tree-large-churn": (
+        _tree_large_churn,
+        "64-receiver churn on a wide jittered tree (large-group smoke)",
     ),
     "tree-bursty": (
         _tree_bursty,

@@ -16,7 +16,22 @@ K = 4.0
 
 
 class RttEstimator:
-    """Smoothed RTT + RTO computation with exponential backoff."""
+    """Smoothed RTT + RTO computation with exponential backoff.
+
+    Slotted: the RLA sender owns one estimator per receiver, so at large
+    group sizes these are among the most numerous hot objects in a run.
+    """
+
+    __slots__ = (
+        "min_rto",
+        "max_rto",
+        "srtt",
+        "rttvar",
+        "_backoff",
+        "samples",
+        "sample_sum",
+        "_rto_cached",
+    )
 
     def __init__(self, min_rto: float = 1.0, max_rto: float = 64.0) -> None:
         self.min_rto = min_rto

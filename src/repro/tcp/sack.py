@@ -24,7 +24,12 @@ class ReceiverSackTracker:
     ``base`` starts the cumulative point above zero — a late-joining
     multicast receiver is synced to the sender's current send point and
     treats everything below it as already delivered.
+
+    Slotted: every TCP receiver and every multicast group member owns
+    one, consulted per delivered segment.
     """
+
+    __slots__ = ("rcv_nxt", "_above", "_recent_blocks", "distinct_received")
 
     def __init__(self, base: int = 0) -> None:
         #: Next expected in-order sequence number; all seq < rcv_nxt received.

@@ -1,0 +1,56 @@
+"""Churn byte-identity: incremental sender == naive oracle, end to end.
+
+A scenario with live joins and leaves is run twice — once with the
+optimized :class:`RLASender`, once with the :class:`NaiveRLASender`
+oracle (the pre-optimization full-recompute behavior) injected into the
+scenario runner — and the result rows must be pickle-identical.  This
+guards the incremental ``_reach`` maintenance against the post-join
+window-deadlock class: a joiner missed as an implicit holder freezes
+``max_reach_all`` and throttles throughput, which would show up in the
+row long before it raised anything.
+"""
+
+import pickle
+
+import pytest
+
+from repro.rla.reference import NaiveRLASender
+from repro.rla.session import RLASession
+from repro.scenarios import get_scenario
+from repro.scenarios import runner as runner_mod
+
+DURATION = 6.0
+WARMUP = 2.0
+
+
+class _NaiveSession(RLASession):
+    """Session wiring unchanged, naive reference sender inside."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("sender_cls", NaiveRLASender)
+        super().__init__(*args, **kwargs)
+
+
+@pytest.mark.parametrize("name", ["waxman-churn", "tree-churn"])
+def test_churn_scenario_identical_under_naive_sender(name, monkeypatch):
+    spec = get_scenario(name, duration=DURATION, warmup=WARMUP)
+    incremental = runner_mod.run_scenario(spec)
+    assert incremental["joins"] > 0 or incremental["leaves"] > 0, (
+        "scenario exercised no membership churn; the test would prove nothing"
+    )
+
+    monkeypatch.setattr(runner_mod, "RLASession", _NaiveSession)
+    naive = runner_mod.run_scenario(spec)
+    assert pickle.dumps(incremental) == pickle.dumps(naive)
+
+
+def test_audited_churn_scenario_identical_under_naive_sender(monkeypatch):
+    """The audit layer reads ``_reach`` per ACK; both senders must satisfy it."""
+    spec = get_scenario("waxman-churn", duration=DURATION, warmup=WARMUP,
+                        audited=True)
+    incremental = runner_mod.run_scenario(spec)
+    assert incremental["sim_stats"]["violations"] == 0
+
+    monkeypatch.setattr(runner_mod, "RLASession", _NaiveSession)
+    naive = runner_mod.run_scenario(spec)
+    assert pickle.dumps(incremental) == pickle.dumps(naive)

@@ -1,0 +1,174 @@
+"""Incremental sender aggregates vs naive full recomputation.
+
+Seeded-random interleavings of ACKs (with SACK gaps, so loss detection
+and retransmit decisions fire), late joins, leaves, and time advances
+(which fire the retransmit-decision and RTO-watchdog timers) drive an
+:class:`RLASender`; after **every** operation the maintained aggregates
+— ``min_last_ack``, max-SRTT, max-RTO, the reached-all counts and the
+per-receiver signal table — must equal a from-scratch recomputation over
+the current receiver states.
+
+A second pass replays the identical script through the
+:class:`NaiveRLASender` oracle and must produce identical observable
+sender state step by step, pinning the optimized implementation and the
+reference to each other.
+"""
+
+import random
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.packet import ACK, Packet
+from repro.rla.config import RLAConfig
+from repro.rla.reference import NaiveRLASender
+from repro.rla.sender import _DEFAULT_SRTT, RLASender
+from repro.sim.engine import Simulator
+
+
+class _StubNode(Node):
+    """Node that captures outbound packets instead of routing them."""
+
+    def __init__(self):
+        super().__init__("S")
+        self.outbox = []
+
+    def send(self, packet):
+        self.outbox.append(packet)
+
+
+# ----------------------------------------------------------------------
+# naive recomputations (the assertions' ground truth)
+# ----------------------------------------------------------------------
+def _true_min_last_ack(sender):
+    return min(st.last_ack for st in sender.receivers.values())
+
+def _true_max_srtt(sender):
+    return max(st.srtt(_DEFAULT_SRTT) for st in sender.receivers.values())
+
+def _true_max_rto(sender):
+    return max(st.rtt.rto() for st in sender.receivers.values())
+
+def _true_reach(sender):
+    reach = {}
+    for seq in sender._send_time:
+        holders = sum(1 for st in sender.receivers.values() if st.has(seq))
+        if holders:
+            reach[seq] = holders
+    return reach
+
+
+def _check_aggregates(sender):
+    """Every maintained aggregate equals its full recomputation."""
+    true_min = _true_min_last_ack(sender)
+    assert sender.min_last_ack == true_min
+    assert sender._max_srtt() == _true_max_srtt(sender)
+    assert sender._rto() == _true_max_rto(sender)
+    assert sender._reach == _true_reach(sender)
+    if type(sender) is RLASender:  # naive oracle does not maintain these
+        cohort = sum(1 for st in sender.receivers.values()
+                     if st.last_ack == true_min)
+        assert sender._min_count == cohort
+    # signal table matches a fresh rebuild, including insertion order
+    # (snapshot dicts must pickle identically to a rebuilt comprehension)
+    assert list(sender._signals_by_receiver.items()) == [
+        (rid, st.signals) for rid, st in sender.receivers.items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# script driver
+# ----------------------------------------------------------------------
+def _snapshot(sender):
+    """Observable sender state, for cross-implementation comparison."""
+    return (
+        sender.sim.now,
+        sender.snd_nxt,
+        sender.min_last_ack,
+        sender.cwnd,
+        sender.max_reach_all,
+        tuple(sorted(sender._reach.items())),
+        sender._max_srtt(),
+        sender._rto(),
+        sender.congestion_signals,
+        sender.rtx_multicast,
+        sender.rtx_unicast,
+        sender.timeouts,
+        tuple(sender._signals_by_receiver.items()),
+    )
+
+
+def _run_script(sender_cls, seed, steps=250, check=False):
+    """Drive one sender through a seeded op interleaving; return snapshots.
+
+    Ops are generated from sender state with a dedicated RNG, so two
+    implementations that behave identically see identical scripts.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(seed=7)
+    node = _StubNode()
+    config = RLAConfig(ack_jitter=0.0)
+    members = [f"R{i}" for i in range(4)]
+    sender = sender_cls(sim, node, "rla-0", "group:rla-0", members,
+                        config=config)
+    sender.start(0.0)
+    sim.run(until=0.01)
+
+    next_join = 0
+    snapshots = []
+    for _ in range(steps):
+        op = rng.choices(("ack", "join", "leave", "advance"),
+                         weights=(10, 1, 1, 3))[0]
+        if op == "ack" and sender.snd_nxt > 0:
+            rid = rng.choice(list(sender.receivers))
+            state = sender.receivers[rid]
+            ack = min(state.last_ack + rng.randrange(0, 4), sender.snd_nxt)
+            sack = None
+            if rng.random() < 0.5 and ack + 2 < sender.snd_nxt:
+                # a gap above the cumulative point: SACKed segments that
+                # eventually push loss detection over the dupack threshold
+                start = ack + rng.randrange(1, 3)
+                end = min(start + rng.randrange(1, 4), sender.snd_nxt)
+                if start < end:
+                    sack = ((start, end),)
+            echo = sim.now - rng.uniform(0.01, 0.2) if rng.random() < 0.7 else 0.0
+            sender.on_packet(Packet(
+                ACK, "rla-0", rid, "S", ack, 40, ack=ack, sack=sack,
+                receiver=rid, echo_ts=max(echo, 0.0),
+            ))
+        elif op == "join":
+            sender.add_receiver(f"J{next_join}")
+            next_join += 1
+        elif op == "leave" and len(sender.receivers) > 2:
+            sender.remove_receiver(rng.choice(list(sender.receivers)))
+        elif op == "advance":
+            # fire pending retransmit decisions / the RTO watchdog
+            sim.run(until=sim.now + rng.uniform(0.05, 1.5))
+        if check:
+            _check_aggregates(sender)
+        snapshots.append(_snapshot(sender))
+    return snapshots
+
+
+@pytest.mark.parametrize("seed", [1, 17, 4242])
+def test_incremental_aggregates_match_naive_recomputation(seed):
+    _run_script(RLASender, seed, check=True)
+
+
+@pytest.mark.parametrize("seed", [1, 17, 4242])
+def test_incremental_and_naive_senders_evolve_identically(seed):
+    fast = _run_script(RLASender, seed)
+    naive = _run_script(NaiveRLASender, seed)
+    assert fast == naive
+
+
+def test_script_exercises_every_op_kind():
+    """The interleavings above actually hit joins, leaves and repairs."""
+    snapshots = _run_script(RLASender, 17)
+    final = snapshots[-1]
+    signals = final[8]
+    rtx = final[9] + final[10]
+    assert signals > 0, "no congestion signals generated"
+    assert rtx > 0, "no retransmissions decided"
+    joined = {rid for rid, _ in final[12] if rid.startswith("J")}
+    assert joined, "no late joiner survived to the end"

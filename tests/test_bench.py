@@ -39,8 +39,13 @@ def _doc(events_per_s, duration=8.0, warmup=3.0):
 # registry
 # ----------------------------------------------------------------------
 def test_registry_contents():
-    assert set(SUITES) == {"engine", "fig7", "fig9", "scenarios"}
+    assert set(SUITES) == {
+        "engine", "fig7", "fig9", "scenarios",
+        "rla_scale_4", "rla_scale_64", "rla_scale_256", "rla_scale_1024",
+    }
     assert set(SMOKE_SUITES) <= set(SUITES)
+    # CI smoke runs the two smallest receiver-scaling sizes
+    assert {"rla_scale_4", "rla_scale_64"} <= set(SMOKE_SUITES)
 
 
 def test_resolve_rejects_unknown_suite():
@@ -126,6 +131,24 @@ def test_compare_threshold_validation():
     doc = _doc({"engine": 1.0})
     with pytest.raises(ValueError, match="threshold"):
         compare_docs(doc, copy.deepcopy(doc), threshold=1.5)
+
+
+def test_compare_suites_filter_scopes_the_gate():
+    base = _doc({"engine": 1000.0, "fig7": 500.0, "scenarios": 100.0})
+    cur = _doc({"engine": 900.0, "fig7": 100.0})
+    # unfiltered: fig7 regresses, scenarios shows up as removed
+    full = compare_docs(cur, base)
+    assert not full.ok
+    assert {d.name for d in full.deltas} == {"engine", "fig7", "scenarios"}
+    # gated on the subset actually run: the fig7 regression still fails...
+    gated = compare_docs(cur, base, suites=["engine", "fig7"])
+    assert {d.name for d in gated.deltas} == {"engine", "fig7"}
+    assert not gated.ok
+    # ...while gating on engine alone passes, and names absent from both
+    # documents (a baseline predating the suite) are simply ignored
+    engine_only = compare_docs(cur, base, suites=["engine", "brand_new"])
+    assert engine_only.ok
+    assert {d.name for d in engine_only.deltas} == {"engine"}
 
 
 # ----------------------------------------------------------------------
