@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-harness bench-smoke figures quickstart clean
+.PHONY: install test bench bench-harness bench-smoke checkpoint-smoke figures quickstart clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,7 +17,7 @@ bench:
 # per-PR record (see docs/PERFORMANCE.md for the schema and knobs).
 bench-harness:
 	PYTHONPATH=src $(PYTHON) -m repro.bench run --label local \
-		--out BENCH_local.json --compare BENCH_5.json
+		--out BENCH_local.json --compare BENCH_6.json
 
 # The fast smoke subset CI runs on every push (>25% slowdown fails):
 # engine + fig7 plus the two smallest receiver-scaling sizes, so the RLA
@@ -28,6 +28,26 @@ bench-smoke:
 		--suites engine,fig7,rla_scale_4,rla_scale_64 \
 		--label ci --out BENCH_ci.json --repeats 3 \
 		--compare benchmarks/BENCH_ci_baseline.json
+
+# Checkpoint/restore byte-identity smoke: snapshot an *audited* churn
+# run mid-flight, restore it in a brand-new interpreter, and require the
+# resumed report pickle to equal the straight-through run's byte for
+# byte.  Any divergence means a piece of simulation state escaped the
+# snapshot (see docs/SIMULATOR.md, "Checkpoint/restore").
+checkpoint-smoke:
+	rm -rf ckpt-smoke && mkdir -p ckpt-smoke
+	PYTHONPATH=src $(PYTHON) -c "import pickle; \
+	from repro.scenarios import get_scenario, run_scenario; \
+	from repro.scenarios.runner import checkpoint_scenario; \
+	spec = get_scenario('tree-churn', duration=8.0, warmup=3.0, audited=True); \
+	checkpoint_scenario(spec, at=5.0, path='ckpt-smoke/mid.ckpt'); \
+	open('ckpt-smoke/straight.pkl', 'wb').write(pickle.dumps(run_scenario(spec)))"
+	PYTHONPATH=src $(PYTHON) -c "import pickle; \
+	from repro.checkpoint import resume; \
+	straight = open('ckpt-smoke/straight.pkl', 'rb').read(); \
+	resumed = pickle.dumps(resume('ckpt-smoke/mid.ckpt')); \
+	assert resumed == straight, 'checkpoint restore diverged from straight run'; \
+	print('checkpoint smoke OK: %d-byte report, byte-identical after fresh-process restore' % len(resumed))"
 
 # Reproduce every paper figure from the CLI at a moderate scale.
 figures:

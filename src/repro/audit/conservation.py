@@ -28,6 +28,7 @@ dict operations per hop.
 from __future__ import annotations
 
 from collections import Counter
+from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..net.link import Link
@@ -98,6 +99,20 @@ class ConservationAuditor:
             uninstall_creation_hook(self._on_created)
             self._attached = False
 
+    def rearm(self) -> None:
+        """Re-install the process-global creation hook after a restore.
+
+        The gateway/link/node hooks travel inside the pickled object graph
+        of a :mod:`repro.checkpoint` snapshot, but the packet-creation hook
+        is a module global of :mod:`repro.net.packet` — it does not exist
+        in the restoring process until re-installed here.  Only one
+        restored world may be armed at a time (the hook is process-wide);
+        :meth:`detach` releases it.
+        """
+        if not self._attached:
+            raise RuntimeError("auditor was never attached; nothing to rearm")
+        install_creation_hook(self._on_created)
+
     def __enter__(self) -> "ConservationAuditor":
         return self
 
@@ -111,24 +126,16 @@ class ConservationAuditor:
         self.link_counts[name] = {
             "accepted": 0, "dropped": 0, "dequeued": 0, "delivered": 0,
         }
+        # functools.partial, not lambdas: these hooks live inside the
+        # network object graph, which checkpoint snapshots pickle whole.
         gateway = link.gateway
-        gateway.on_enqueue(
-            lambda now, packet, depth, _n=name: self._on_enqueue(_n, now, packet, depth)
-        )
-        gateway.on_drop(
-            lambda now, packet, reason, _n=name: self._on_drop(_n, now, packet, reason)
-        )
-        gateway.on_dequeue(
-            lambda now, packet, _n=name: self._on_dequeue(_n, now, packet)
-        )
-        link.on_deliver(
-            lambda now, packet, _n=name: self._on_deliver(_n, now, packet)
-        )
+        gateway.on_enqueue(partial(self._on_enqueue, name))
+        gateway.on_drop(partial(self._on_drop, name))
+        gateway.on_dequeue(partial(self._on_dequeue, name))
+        link.on_deliver(partial(self._on_deliver, name))
 
     def _watch_node(self, node: Node) -> None:
-        node.on_consume(
-            lambda packet, outcome, _n=node.id: self._on_consume(_n, packet, outcome)
-        )
+        node.on_consume(partial(self._on_consume, node.id))
 
     # ------------------------------------------------------------------
     # lifecycle transitions

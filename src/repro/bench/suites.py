@@ -156,6 +156,74 @@ def _rla_scale_run(n_receivers: int, scale: Mapping[str, float]) -> int:
     return sim.events_executed
 
 
+#: Branch count for the warm-start ensemble pair below.  Four branches
+#: keeps the cold side's wall time bench-friendly while still amortising
+#: the shared prefix enough for the speedup to be visible.
+ENSEMBLE_BRANCHES = 4
+
+
+def _ensemble_spec(scale: Mapping[str, float], seed_offset: int = 0):
+    """The churn scenario both ensemble suites run branches of."""
+    from ..scenarios import get_scenario
+
+    spec = get_scenario("tree-churn", duration=scale["duration"],
+                        warmup=scale["warmup"])
+    if seed_offset:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=spec.seed + seed_offset)
+    return spec
+
+
+def _ensemble_cold(scale: Mapping[str, float]) -> int:
+    """Cold baseline: N independent full runs (fresh world per seed).
+
+    The comparison partner of ``ensemble_fork`` — same scenario, same
+    branch count, but every run pays the full ``[0, horizon]`` simulation
+    from scratch.  ``ensemble_fork`` wall time over this suite's is the
+    warm-start win; docs/PERFORMANCE.md records the measured ratio.
+    """
+    from ..scenarios import run_scenario
+
+    events = 0
+    for offset in range(ENSEMBLE_BRANCHES):
+        row = run_scenario(_ensemble_spec(scale, seed_offset=offset))
+        events += int(row["sim_stats"]["events"])
+    return events
+
+
+def _ensemble_fork(scale: Mapping[str, float]) -> int:
+    """Warm start: one shared prefix, N reseeded branches from a snapshot.
+
+    Builds the churn world once, runs it to the ensemble branch point
+    (mid-measurement, so the shared prefix covers warmup plus half the
+    measured window), captures a snapshot, then forks
+    ``ENSEMBLE_BRANCHES`` reseeded branches to completion.  Capture and
+    per-branch restore (pickling the whole world) are *inside* the timed
+    region — the reported wall time is the honest end-to-end cost of the
+    warm-start workflow.
+    """
+    from ..checkpoint import run_fork_ensemble
+    from ..scenarios.runner import build_scenario_world, snapshot_scenario_world
+
+    spec = _ensemble_spec(scale)
+    branch_at = spec.warmup + scale["duration"] / 2.0
+    world = build_scenario_world(spec)
+    try:
+        snapshot = snapshot_scenario_world(world, at=branch_at)
+        prefix_events = world.sim.events_executed
+    finally:
+        world.disarm()
+    results = run_fork_ensemble(snapshot, ENSEMBLE_BRANCHES)
+    # Count events actually dispatched here: the shared prefix once, plus
+    # each branch's post-snapshot tail (events_executed is carried across
+    # the snapshot, so per-branch totals each include the prefix).
+    events = prefix_events
+    for _label, row in results:
+        events += int(row["sim_stats"]["events"]) - prefix_events
+    return events
+
+
 def _rla_scale(n_receivers: int) -> Callable[[Mapping[str, float]], int]:
     """Bind one receiver count into a suite-shaped run callable."""
     def run(scale: Mapping[str, float]) -> int:
@@ -178,6 +246,12 @@ SUITES: Dict[str, Suite] = {
               _fig9, "bench_fig9_red.py"),
         Suite("scenarios", "catalog smoke: waxman-churn + tree-bursty",
               _scenarios, "bench_sweeps.py / scenarios catalog"),
+        Suite("ensemble_cold",
+              f"{ENSEMBLE_BRANCHES} independent cold churn runs (fork baseline)",
+              _ensemble_cold, "checkpoint fork ensemble / docs/PERFORMANCE.md"),
+        Suite("ensemble_fork",
+              f"{ENSEMBLE_BRANCHES} reseeded branches forked from one snapshot",
+              _ensemble_fork, "checkpoint fork ensemble / docs/PERFORMANCE.md"),
         *(
             Suite(f"rla_scale_{n}",
                   f"RLA receiver-scaling star, {n} receivers + agent churn",

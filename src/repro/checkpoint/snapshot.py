@@ -1,0 +1,277 @@
+"""Snapshot/restore of full simulation state.
+
+A :class:`Snapshot` captures *everything* a run needs to continue —
+the :class:`~repro.sim.engine.Simulator` (event heap, ready batch,
+sequence counter, cancelled count, clock), every named RNG stream
+(:class:`~repro.sim.rng.RngStreams` pickles via ``random.Random``'s exact
+``getstate``/``setstate``), protocol agents (TCP and RLA senders with
+their aggregates, SACK trackers, RTT estimators and reach tables),
+gateway/queue contents, and any attached :mod:`repro.audit` ledgers — by
+pickling the whole world object graph at once, so shared references stay
+shared on restore.
+
+Two pieces of state live *outside* that graph and get special handling:
+
+* the process-global packet uid counter (:mod:`repro.net.packet`) is
+  recorded in :attr:`Snapshot.uid_next` and reset by :func:`restore` —
+  a fresh process would otherwise re-issue uids still held by pickled
+  in-flight packets;
+* the process-global packet-creation hook the conservation auditor
+  installs is re-armed by :func:`restore` through the world's ``rearm()``
+  method (the hook is a module global, not part of the object graph).
+
+The correctness contract is absolute: snapshot at any interior time,
+restore (in the same or a fresh process), run to completion — the final
+report must be byte-identical (as a pickle) to the straight-through run.
+``tests/checkpoint`` enforces this for every figure workload and every
+churn-catalog scenario.
+
+Files are written atomically (temp + rename) like
+:mod:`repro.runtime.cache` entries, with a small versioned header pickled
+ahead of the world payload so incompatible files fail fast and cleanly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..errors import ReproError
+from ..net.packet import restore_uid_counter, uid_counter_state
+from ..sim.engine import Simulator
+
+#: Bump when the snapshot layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: File magic identifying a repro checkpoint file.
+MAGIC = "repro-ckpt"
+
+
+class CheckpointError(ReproError):
+    """Snapshot capture, serialization, or restore failed."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One captured simulation state, ready to save, restore, or fork.
+
+    ``payload`` is the world pickled *at capture time*: the snapshot stays
+    frozen while the originating run continues, and every :func:`restore`
+    deserializes a fresh, independent copy (which is exactly what
+    :func:`fork` needs to branch variant futures).
+    """
+
+    version: int
+    code: str
+    label: str
+    #: ``"module:function"`` entrypoint that finishes a restored world and
+    #: returns the run's report (empty for bare-world snapshots).
+    resume: str
+    sim_time: float
+    #: Next process-global packet uid at capture time.
+    uid_next: int
+    payload: bytes
+
+    def header(self) -> Dict[str, Any]:
+        """The versioned metadata written ahead of the payload."""
+        return {
+            "magic": MAGIC,
+            "version": self.version,
+            "code": self.code,
+            "label": self.label,
+            "resume": self.resume,
+            "sim_time": self.sim_time,
+            "uid_next": self.uid_next,
+        }
+
+
+def _find_simulator(world: Any) -> Simulator:
+    sim = getattr(world, "sim", None)
+    if sim is None and isinstance(world, dict):
+        sim = world.get("sim")
+    if not isinstance(sim, Simulator):
+        raise CheckpointError(
+            f"world of type {type(world).__name__} exposes no .sim / ['sim'] "
+            f"Simulator to snapshot"
+        )
+    return sim
+
+
+def capture(world: Any, label: str = "", resume: str = "") -> Snapshot:
+    """Serialize ``world`` into a :class:`Snapshot` (read-only operation).
+
+    ``world`` must expose the engine as ``world.sim`` (attribute) or
+    ``world["sim"]`` (mapping) and must not be mid-event: capture is only
+    legal between :meth:`~repro.sim.engine.Simulator.run` calls, where the
+    engine guarantees the same-timestamp ready batch has been flushed back
+    into the heap.
+    """
+    sim = _find_simulator(world)
+    if sim._running:
+        raise CheckpointError(
+            "cannot capture while the simulator is running; snapshot "
+            "between run() calls (e.g. after run(until=checkpoint_time))"
+        )
+    from ..runtime.spec import code_version
+
+    try:
+        payload = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"world is not picklable: {type(exc).__name__}: {exc}"
+        ) from exc
+    return Snapshot(
+        version=FORMAT_VERSION,
+        code=code_version(),
+        label=label,
+        resume=resume,
+        sim_time=sim.now,
+        uid_next=uid_counter_state(),
+        payload=payload,
+    )
+
+
+def restore(snapshot: Snapshot, rearm: bool = True) -> Any:
+    """Deserialize a fresh world copy and take over process-global state.
+
+    Resets the packet uid counter to the captured value and, when
+    ``rearm`` is true, calls the world's ``rearm()`` method (if any) so
+    process-global hooks — e.g. the conservation auditor's packet-creation
+    hook — are re-installed.  Only one audited world can be armed per
+    process at a time; pass ``rearm=False`` when restoring several
+    branches up front and arm each one around its run instead.
+    """
+    if snapshot.version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"snapshot format v{snapshot.version} not supported "
+            f"(this build reads v{FORMAT_VERSION})"
+        )
+    world = pickle.loads(snapshot.payload)
+    restore_uid_counter(snapshot.uid_next)
+    if rearm:
+        rearm_fn = getattr(world, "rearm", None)
+        if rearm_fn is not None:
+            rearm_fn()
+    return world
+
+
+# ----------------------------------------------------------------------
+# file format
+# ----------------------------------------------------------------------
+def save(snapshot: Snapshot, path: Union[str, Path]) -> Path:
+    """Write ``snapshot`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(snapshot.header(), handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(snapshot.payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load(path: Union[str, Path],
+         allow_code_mismatch: bool = False) -> Snapshot:
+    """Read a snapshot file, validating magic, version, and code hash.
+
+    A snapshot captured under different simulator code may deserialize
+    into silently different behavior, so a :func:`code_version` mismatch
+    is an error unless explicitly allowed.
+    """
+    from ..runtime.spec import code_version
+
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            header = pickle.load(handle)
+            payload = handle.read()
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint file {path}: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise CheckpointError(f"{path} is not a repro checkpoint file")
+    if header.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path} has snapshot format v{header.get('version')}; "
+            f"this build reads v{FORMAT_VERSION}"
+        )
+    if header["code"] != code_version() and not allow_code_mismatch:
+        raise CheckpointError(
+            f"{path} was captured under different simulator code "
+            f"({header['code']} vs {code_version()}); restoring would not "
+            f"reproduce the original run (pass allow_code_mismatch=True "
+            f"to override)"
+        )
+    return Snapshot(
+        version=header["version"],
+        code=header["code"],
+        label=header["label"],
+        resume=header["resume"],
+        sim_time=header["sim_time"],
+        uid_next=header["uid_next"],
+        payload=payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# resume
+# ----------------------------------------------------------------------
+def resolve_entrypoint(entrypoint: str) -> Callable[..., Any]:
+    """Import ``"module:function"`` (same convention as RunSpec)."""
+    module_name, sep, func_name = entrypoint.partition(":")
+    if not sep or not module_name or not func_name:
+        raise CheckpointError(
+            f"entrypoint must look like 'module:function': {entrypoint!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        func = getattr(module, func_name)
+    except AttributeError as exc:
+        raise CheckpointError(
+            f"{module_name} has no attribute {func_name!r}"
+        ) from exc
+    if not callable(func):
+        raise CheckpointError(f"entrypoint {entrypoint!r} is not callable")
+    return func
+
+
+def resume(source: Union[Snapshot, str, Path],
+           allow_code_mismatch: bool = False) -> Any:
+    """Restore a snapshot and run its recorded resume entrypoint to the end.
+
+    The entrypoint receives the restored (and re-armed) world and returns
+    the finished run's report — byte-identical to what the straight-through
+    run would have produced.
+    """
+    snapshot = source if isinstance(source, Snapshot) else load(
+        source, allow_code_mismatch=allow_code_mismatch)
+    if not snapshot.resume:
+        raise CheckpointError(
+            "snapshot records no resume entrypoint; restore() it manually"
+        )
+    func = resolve_entrypoint(snapshot.resume)
+    world = restore(snapshot)
+    return func(world)
+
+
+def dumps(snapshot: Snapshot) -> bytes:
+    """Snapshot file bytes without touching disk (for tests and caches)."""
+    buffer = io.BytesIO()
+    pickle.dump(snapshot.header(), buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    buffer.write(snapshot.payload)
+    return buffer.getvalue()

@@ -9,6 +9,9 @@ Examples::
     repro-rla fig5 --steps 100000
     repro-rla multisession --duration 150
     repro-rla sweep --counts 2 4 8 --workers 4
+    repro-rla scenarios run tree-churn --checkpoint-at 15 --checkpoint-dir ck
+    repro-rla resume ck/<key>.t15.ckpt
+    repro-rla fork ck/<key>.t15.ckpt --branches 8
 
 Simulation subcommands (fig7/8/9/10, sweep) accept:
 
@@ -66,6 +69,17 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                              "loudly on any invariant violation")
 
 
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-at", type=float, default=None,
+                        metavar="T",
+                        help="write a resumable snapshot of every run at "
+                             "interior sim-time T (results unchanged); see "
+                             "the 'resume' and 'fork' subcommands")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for snapshot files (defaults to "
+                             "the --cache directory)")
+
+
 def _runtime_kwargs(args: argparse.Namespace, outcomes: List[Any]) -> dict:
     """Translate --workers/--cache/--metrics into runner keyword arguments."""
     kwargs: dict = {}
@@ -75,6 +89,11 @@ def _runtime_kwargs(args: argparse.Namespace, outcomes: List[Any]) -> dict:
         from .runtime import ResultCache
 
         kwargs["cache"] = ResultCache(args.cache or None)
+    if getattr(args, "checkpoint_at", None) is not None:
+        kwargs["checkpoint_at"] = args.checkpoint_at
+        if args.checkpoint_dir is not None:
+            kwargs["checkpoint_dir"] = args.checkpoint_dir
+        kwargs.setdefault("workers", 1)
     if not kwargs and getattr(args, "metrics", False):
         # --metrics alone still needs the runtime path to collect outcomes
         kwargs["workers"] = 1
@@ -111,10 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         _add_run_args(p)
+        _add_checkpoint_args(p)
         p.add_argument("--cases", type=int, nargs="+", default=[1, 2, 3, 4, 5])
 
     fig10 = sub.add_parser("fig10", help="different RTTs (generalized RLA)")
     _add_run_args(fig10)
+    _add_checkpoint_args(fig10)
     fig10.add_argument("--cases", type=int, nargs="+", default=[1, 2])
 
     multi = sub.add_parser("multisession", help="two overlapping RLA sessions")
@@ -152,6 +173,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the per-run runtime summary table")
     scen_run.add_argument("--audit", action="store_true",
                           help="run under the conservation auditor")
+    _add_checkpoint_args(scen_run)
+
+    resume_p = sub.add_parser(
+        "resume", help="restore a snapshot file and run it to completion")
+    resume_p.add_argument("snapshot", metavar="SNAPSHOT.ckpt",
+                          help="file written by --checkpoint-at")
+    resume_p.add_argument("--out", default=None, metavar="FILE",
+                          help="pickle the finished report to FILE")
+    resume_p.add_argument("--allow-code-mismatch", action="store_true",
+                          help="restore even if the snapshot was captured "
+                               "under different simulator code")
+
+    fork_p = sub.add_parser(
+        "fork", help="branch N reseeded variant futures from one snapshot")
+    fork_p.add_argument("snapshot", metavar="SNAPSHOT.ckpt",
+                        help="file written by --checkpoint-at")
+    fork_p.add_argument("--branches", type=int, default=4, metavar="N",
+                        help="how many variant futures to run (default 4)")
+    fork_p.add_argument("--prefix", default="fork",
+                        help="branch label prefix (labels seed the branches)")
+    fork_p.add_argument("--out", default=None, metavar="FILE",
+                        help="pickle the [(label, report)] list to FILE")
+    fork_p.add_argument("--allow-code-mismatch", action="store_true",
+                        help="restore even if the snapshot was captured "
+                             "under different simulator code")
     return parser
 
 
@@ -230,7 +276,59 @@ def _dispatch(args: argparse.Namespace) -> int:
         rows = run_scenarios(specs, **_runtime_kwargs(args, outcomes))
         print(format_scenarios(rows))
         _print_metrics(args, outcomes)
+    elif args.figure == "resume":
+        from .checkpoint import load, resume
+
+        snapshot = load(args.snapshot,
+                        allow_code_mismatch=args.allow_code_mismatch)
+        print(f"restoring {snapshot.label or args.snapshot} "
+              f"at t={snapshot.sim_time:g} ...")
+        report = resume(snapshot)
+        print(_describe_report(report))
+        _pickle_out(args.out, report)
+    elif args.figure == "fork":
+        from .checkpoint import branch_labels, load, run_fork_ensemble
+
+        snapshot = load(args.snapshot,
+                        allow_code_mismatch=args.allow_code_mismatch)
+        labels = branch_labels(args.branches, prefix=args.prefix)
+        print(f"forking {snapshot.label or args.snapshot} "
+              f"at t={snapshot.sim_time:g} into {len(labels)} branches ...")
+        results = run_fork_ensemble(snapshot, labels)
+        for label, report in results:
+            print(f"[{label}] {_describe_report(report)}")
+        _pickle_out(args.out, results)
     return 0
+
+
+def _describe_report(report: Any) -> str:
+    """One-line human summary of a resumed run's report."""
+    if isinstance(report, dict) and "rla_pps" in report:
+        return (f"scenario {report.get('scenario')}: "
+                f"rla {report['rla_pps']:.2f} pkt/s, "
+                f"wtcp {report['wtcp_pps']:.2f} pkt/s, "
+                f"jain {report['jain']:.3f}")
+    stats = getattr(report, "stats", None)
+    if isinstance(stats, dict):
+        return (f"{type(report).__name__}: {stats.get('events', 0):.0f} "
+                f"events to t={stats.get('sim_time', 0):g}"
+                + (f", violations {stats['violations']:.0f}"
+                   if "violations" in stats else ""))
+    return repr(report)
+
+
+def _pickle_out(path: Optional[str], payload: Any) -> None:
+    if path is None:
+        return
+    import pickle
+
+    # Default protocol, not HIGHEST: the byte-identity oracle and the
+    # checkpoint smoke diff these files against pickle.dumps(report),
+    # which pickles at DEFAULT_PROTOCOL — a protocol mismatch would make
+    # every comparison fail on the version byte alone.
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+    print(f"report pickled to {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

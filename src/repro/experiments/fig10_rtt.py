@@ -33,6 +33,8 @@ def run_fig10(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the figure 10 cases (36 receivers, RTT-scaled listening).
 
@@ -52,11 +54,13 @@ def run_fig10(
         )
         for case_number in cases
     }
-    if workers is None and cache is None:
+    if workers is None and cache is None and checkpoint_at is None:
         return {number: run_tree_experiment(spec)
                 for number, spec in specs.items()}
     return run_tree_experiments(specs, workers=workers, cache=cache,
-                                outcomes=outcomes)
+                                outcomes=outcomes,
+                                checkpoint_at=checkpoint_at,
+                                checkpoint_dir=checkpoint_dir)
 
 
 def fig10_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:

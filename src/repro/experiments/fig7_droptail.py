@@ -33,6 +33,8 @@ def run_fig7(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the selected figure 7 cases; returns results keyed by case.
 
@@ -40,7 +42,8 @@ def run_fig7(
     :mod:`repro.runtime` (byte-identical results, run in parallel and
     cached on disk); otherwise the cases run serially in-process.
     ``audited=True`` runs every case under the :mod:`repro.audit`
-    conservation auditor.
+    conservation auditor.  ``checkpoint_at`` writes a resumable snapshot
+    of every case at that interior sim-time on the way to the same result.
     """
     specs = {
         case_number: TreeExperimentSpec(
@@ -54,11 +57,13 @@ def run_fig7(
         )
         for case_number in cases
     }
-    if workers is None and cache is None:
+    if workers is None and cache is None and checkpoint_at is None:
         return {number: run_tree_experiment(spec)
                 for number, spec in specs.items()}
     return run_tree_experiments(specs, workers=workers, cache=cache,
-                                outcomes=outcomes)
+                                outcomes=outcomes,
+                                checkpoint_at=checkpoint_at,
+                                checkpoint_dir=checkpoint_dir)
 
 
 def fig7_table(results: Optional[Dict[int, TreeExperimentResult]] = None, **kwargs) -> str:

@@ -25,12 +25,15 @@ def run_fig9(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[int, TreeExperimentResult]:
     """Run the selected figure 9 cases (RED gateways)."""
     return run_fig7(
         duration=duration, warmup=warmup, seed=seed, cases=cases,
         share_pps=share_pps, gateway="red",
         workers=workers, cache=cache, outcomes=outcomes, audited=audited,
+        checkpoint_at=checkpoint_at, checkpoint_dir=checkpoint_dir,
     )
 
 

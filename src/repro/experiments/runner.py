@@ -128,8 +128,53 @@ class TreeExperimentResult:
         return [signals[r] for r in self.tiers.get(tier, ()) if r in signals]
 
 
-def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
-    """Build, warm up, measure, and report one §5 experiment."""
+@dataclass
+class TreeWorld:
+    """A live (or restored) §5 experiment: everything between build and report.
+
+    This is the unit :mod:`repro.checkpoint` snapshots: the whole object
+    graph hanging off these fields — simulator, network, flows, sessions,
+    audit ledgers — pickles as one, so shared references survive restore.
+    """
+
+    spec: TreeExperimentSpec
+    sim: Simulator
+    net: Any
+    info: Any
+    receivers: List[str]
+    gateways: List[Any]
+    tcp_flows: Dict[str, TcpFlow]
+    extra_flows: List[TcpFlow]
+    sessions: List[RLASession]
+    auditor: Any = None
+    monitor: Any = None
+    #: True once the warmup boundary has been crossed and counters marked.
+    marked: bool = False
+
+    @property
+    def end_time(self) -> float:
+        """Absolute sim-time at which the measurement window closes."""
+        return self.spec.warmup + self.spec.duration
+
+    def rearm(self) -> None:
+        """Re-install process-global audit state after a restore."""
+        if self.auditor is not None:
+            self.auditor.rearm()
+
+    def disarm(self) -> None:
+        """Release process-global audit state (safe to call when unaudited)."""
+        if self.auditor is not None:
+            self.auditor.detach()
+            self.sim.event_hook = None
+
+
+def build_tree_world(spec: TreeExperimentSpec) -> TreeWorld:
+    """Construct the tree, attach audit hooks, and start all traffic.
+
+    On an audited spec this installs the process-global packet-creation
+    hook: callers must eventually call :meth:`TreeWorld.disarm` (the run
+    helpers below do so in ``finally`` blocks).
+    """
     spec.validate()
     case = spec.case
     info = static_tree_info()
@@ -151,9 +196,6 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
     # enqueue fast path hook-free for un-audited runs.
     gateways = [link.gateway for link in net.links.values()]
 
-    # The auditor's creation hook is process-global, so it must be
-    # uninstalled even when the run raises (try/finally below); parallel
-    # audited runs are safe because the runtime fans out to processes.
     auditor = monitor = None
     if spec.audited:
         from ..audit import ConservationAuditor, FlightRecorder, InvariantMonitor
@@ -201,40 +243,152 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
             session.sender.monitor = monitor
             session.start(start_rng.uniform(0.0, 1.0))
             sessions.append(session)
-
-        sim.run(until=spec.warmup)
-        for flow in list(tcp_flows.values()) + extra_flows:
-            flow.mark()
-        for session in sessions:
-            session.mark()
-        sim.run(until=spec.warmup + spec.duration)
-
-        stats: Dict[str, float] = {
-            "events": sim.events_executed,
-            "drops": sum(gateway.dropped for gateway in gateways),
-            "peak_queue_depth": max(gateway.peak_depth for gateway in gateways),
-            "sim_time": sim.now,
-        }
-        if auditor is not None:
-            for flow in list(tcp_flows.values()) + extra_flows:
-                monitor.check_tcp(flow.sender)
-            for session in sessions:
-                monitor.check_rla(session.sender)
-            auditor.verify()
-            stats["audit_checks"] = monitor.checks_run
-            stats["violations"] = monitor.violation_count
-        return TreeExperimentResult(
-            spec=spec,
-            rla=[session.report() for session in sessions],
-            tcp={receiver: flow.report() for receiver, flow in tcp_flows.items()},
-            tiers=congestion_tiers(case, info, receivers),
-            receivers=receivers,
-            stats=stats,
-        )
-    finally:
+    except BaseException:
         if auditor is not None:
             auditor.detach()
             sim.event_hook = None
+        raise
+
+    return TreeWorld(
+        spec=spec, sim=sim, net=net, info=info, receivers=receivers,
+        gateways=gateways, tcp_flows=tcp_flows, extra_flows=extra_flows,
+        sessions=sessions, auditor=auditor, monitor=monitor,
+    )
+
+
+def advance_tree_world(world: TreeWorld, until: float) -> None:
+    """Run the world forward to absolute sim-time ``until``.
+
+    Handles the warmup boundary exactly like the straight-through run:
+    events up to the warmup horizon execute first, throughput counters are
+    marked once at the boundary, then measurement-window events run.
+    Splitting the run at any interior time (including exactly at the
+    boundary) executes the identical event sequence — that equivalence is
+    what makes interior-time snapshots byte-identical to straight-through
+    runs.
+    """
+    spec = world.spec
+    if until > world.end_time:
+        raise ConfigurationError(
+            f"cannot advance to t={until}: run ends at t={world.end_time}"
+        )
+    if not world.marked:
+        world.sim.run(until=min(until, spec.warmup))
+        if until >= spec.warmup:
+            for flow in list(world.tcp_flows.values()) + world.extra_flows:
+                flow.mark()
+            for session in world.sessions:
+                session.mark()
+            world.marked = True
+    if until > spec.warmup:
+        world.sim.run(until=until)
+
+
+def finalize_tree_world(world: TreeWorld) -> TreeExperimentResult:
+    """Collect reports and audit verdicts from a fully advanced world."""
+    spec = world.spec
+    sim = world.sim
+    stats: Dict[str, float] = {
+        "events": sim.events_executed,
+        "drops": sum(gateway.dropped for gateway in world.gateways),
+        "peak_queue_depth": max(gateway.peak_depth for gateway in world.gateways),
+        "sim_time": sim.now,
+    }
+    if world.auditor is not None:
+        monitor = world.monitor
+        for flow in list(world.tcp_flows.values()) + world.extra_flows:
+            monitor.check_tcp(flow.sender)
+        for session in world.sessions:
+            monitor.check_rla(session.sender)
+        world.auditor.verify()
+        stats["audit_checks"] = monitor.checks_run
+        stats["violations"] = monitor.violation_count
+    return TreeExperimentResult(
+        spec=spec,
+        rla=[session.report() for session in world.sessions],
+        tcp={receiver: flow.report()
+             for receiver, flow in world.tcp_flows.items()},
+        tiers=congestion_tiers(spec.case, world.info, world.receivers),
+        receivers=world.receivers,
+        stats=stats,
+    )
+
+
+#: Resume entrypoint recorded in tree-experiment snapshots.
+TREE_RESUME_ENTRYPOINT = "repro.experiments.runner:resume_tree_world"
+
+
+def resume_tree_world(world: TreeWorld) -> TreeExperimentResult:
+    """Finish a restored world: run to the end and report (then disarm)."""
+    try:
+        advance_tree_world(world, world.end_time)
+        return finalize_tree_world(world)
+    finally:
+        world.disarm()
+
+
+def run_tree_experiment(
+    spec: TreeExperimentSpec,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+) -> TreeExperimentResult:
+    """Build, warm up, measure, and report one §5 experiment.
+
+    With ``checkpoint_at`` set, the run pauses at that interior sim-time,
+    captures a :class:`repro.checkpoint.Snapshot` (written to
+    ``checkpoint_path`` when given), and continues — the returned result
+    is identical to an uncheckpointed run.
+    """
+    world = build_tree_world(spec)
+    try:
+        if checkpoint_at is not None:
+            snapshot = snapshot_tree_world(world, at=checkpoint_at)
+            if checkpoint_path is not None:
+                from ..checkpoint import save
+
+                save(snapshot, checkpoint_path)
+        advance_tree_world(world, world.end_time)
+        return finalize_tree_world(world)
+    finally:
+        world.disarm()
+
+
+def snapshot_tree_world(world: TreeWorld, at: Optional[float] = None,
+                        label: str = ""):
+    """Advance to ``at`` (if given) and capture a resumable snapshot."""
+    from ..checkpoint import capture
+
+    if at is not None:
+        if not 0.0 <= at < world.end_time:
+            raise ConfigurationError(
+                f"checkpoint time {at} outside [0, {world.end_time})"
+            )
+        advance_tree_world(world, at)
+    return capture(
+        world,
+        label=label or f"{world.spec.case.name}/{world.spec.gateway}"
+                       f"@t={world.sim.now:g}",
+        resume=TREE_RESUME_ENTRYPOINT,
+    )
+
+
+def checkpoint_tree_experiment(spec: TreeExperimentSpec, at: float,
+                               path: Optional[str] = None):
+    """Run a fresh experiment up to ``at`` and return (and save) a snapshot.
+
+    Unlike :func:`run_tree_experiment` with ``checkpoint_at``, this stops
+    at the checkpoint — the warm-start entry for fork ensembles.
+    """
+    world = build_tree_world(spec)
+    try:
+        snapshot = snapshot_tree_world(world, at=at)
+    finally:
+        world.disarm()
+    if path is not None:
+        from ..checkpoint import save
+
+        save(snapshot, path)
+    return snapshot
 
 
 # ----------------------------------------------------------------------
@@ -242,11 +396,33 @@ def run_tree_experiment(spec: TreeExperimentSpec) -> TreeExperimentResult:
 # ----------------------------------------------------------------------
 #: Entrypoint path worker processes resolve to run one tree experiment.
 TREE_ENTRYPOINT = "repro.experiments.runner:run_tree_spec"
+TREE_CHECKPOINT_RUNNER = "repro.experiments.runner:run_tree_spec_checkpointed"
 
 
 def run_tree_spec(params: Dict[str, Any]) -> TreeExperimentResult:
     """:mod:`repro.runtime` entrypoint: ``params['spec']`` is the spec."""
     return run_tree_experiment(params["spec"])
+
+
+def run_tree_spec_checkpointed(
+    params: Dict[str, Any],
+    checkpoint_at: float,
+    checkpoint_path: Optional[str] = None,
+) -> TreeExperimentResult:
+    """Checkpoint-capable variant of :func:`run_tree_spec` (see registry)."""
+    return run_tree_experiment(
+        params["spec"], checkpoint_at=checkpoint_at,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def _register_checkpoint_runner() -> None:
+    from ..checkpoint import register_checkpoint_runner
+
+    register_checkpoint_runner(TREE_ENTRYPOINT, TREE_CHECKPOINT_RUNNER)
+
+
+_register_checkpoint_runner()
 
 
 def tree_runspec(spec: TreeExperimentSpec, label: str = ""):
@@ -265,6 +441,8 @@ def run_tree_experiments(
     cache=None,
     timeout: Optional[float] = None,
     outcomes: Optional[List[Any]] = None,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[Hashable, TreeExperimentResult]:
     """Run a keyed grid of tree experiments through the parallel runtime.
 
@@ -272,13 +450,18 @@ def run_tree_experiments(
     byte-identical to calling :func:`run_tree_experiment` serially: each
     run's randomness is fully determined by its spec.  ``outcomes``, if
     given, is extended with the :class:`~repro.runtime.RunOutcome`
-    records (for metric tables / cache accounting).
+    records (for metric tables / cache accounting).  ``checkpoint_at``
+    makes every non-cached run write a resumable snapshot at that interior
+    sim-time (to ``checkpoint_dir`` or the cache directory) on its way to
+    the same result.
     """
     from ..runtime import run_specs
 
     keys = list(specs)
     runspecs = [tree_runspec(specs[key]) for key in keys]
-    outs = run_specs(runspecs, workers=workers, cache=cache, timeout=timeout)
+    outs = run_specs(runspecs, workers=workers, cache=cache, timeout=timeout,
+                     checkpoint_at=checkpoint_at,
+                     checkpoint_dir=checkpoint_dir)
     if outcomes is not None:
         outcomes.extend(outs)
     return {key: out.result for key, out in zip(keys, outs)}

@@ -31,10 +31,19 @@ class RandomDropQueue(Gateway):
     ) -> None:
         if not 0.0 <= drop_prob < 1.0:
             raise ConfigurationError(f"drop_prob out of [0,1): {drop_prob}")
+        if rng is None:
+            # A silent random.Random(0) default would bypass the simulator's
+            # seeded streams — the exact pattern REDQueue rejects: every
+            # directly constructed fault queue would share one drop sequence
+            # and same-seed replay would diverge across runs.
+            raise ConfigurationError(
+                "RandomDropQueue requires an injected rng; use "
+                "sim.rng.stream('drop.<name>') or net.random_drop_factory(...)"
+            )
         super().__init__(inner.capacity)
         self.inner = inner
         self.drop_prob = drop_prob
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng
         self.random_drops = 0
 
     # Delegate storage to the inner gateway; this class only adds the coin.
@@ -105,15 +114,33 @@ class RandomDropQueue(Gateway):
             self.__dict__["_pending_mean_pkt_time"] = value
 
 
+class RandomDropFactory:
+    """Picklable factory wrapping an inner queue factory with loss.
+
+    Each produced queue draws from its own ``drop.<link-name>`` stream of
+    the simulator's seeded RNG registry, so fault injection is part of the
+    same-seed replay contract like every other source of randomness.
+    """
+
+    def __init__(self, inner_factory, drop_prob: float, sim) -> None:
+        if sim is None:
+            raise ConfigurationError(
+                "random_drop_factory requires the simulator: per-queue drop "
+                "rngs must come from its seeded stream registry"
+            )
+        self.inner_factory = inner_factory
+        self.drop_prob = drop_prob
+        self.sim = sim
+
+    def __call__(self, name: str) -> RandomDropQueue:
+        rng = self.sim.rng.stream(f"drop.{name}")
+        return RandomDropQueue(self.inner_factory(name), self.drop_prob, rng=rng)
+
+
 def random_drop_factory(inner_factory, drop_prob: float, sim=None):
     """Wrap a queue factory with a Bernoulli loss channel.
 
-    ``sim`` (optional) supplies per-queue RNG streams for reproducibility;
-    without it each queue gets an independent fixed-seed stream.
+    ``sim`` is required: it supplies the per-queue seeded RNG streams that
+    keep fault injection deterministic across same-seed runs.
     """
-
-    def make(name: str) -> RandomDropQueue:
-        rng = sim.rng.stream(f"drop.{name}") if sim is not None else None
-        return RandomDropQueue(inner_factory(name), drop_prob, rng=rng)
-
-    return make
+    return RandomDropFactory(inner_factory, drop_prob, sim)

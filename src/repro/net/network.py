@@ -35,9 +35,48 @@ from .red import REDQueue
 QueueFactory = Callable[[str], Gateway]
 
 
+@dataclass
+class DropTailFactory:
+    """Picklable queue factory producing drop-tail gateways.
+
+    A class rather than a closure so a built :class:`Network` (which keeps
+    its ``default_queue`` factory) stays picklable for
+    :mod:`repro.checkpoint` snapshots.
+    """
+
+    capacity: int = 20
+
+    def __call__(self, name: str) -> DropTailQueue:
+        return DropTailQueue(self.capacity)
+
+
 def droptail_factory(capacity: int = 20) -> QueueFactory:
     """Queue factory producing drop-tail gateways of ``capacity`` packets."""
-    return lambda name: DropTailQueue(capacity)
+    return DropTailFactory(capacity)
+
+
+@dataclass
+class REDFactory:
+    """Picklable queue factory producing RED gateways seeded from ``sim.rng``."""
+
+    sim: Simulator
+    capacity: int = 20
+    min_th: float = 5.0
+    max_th: float = 15.0
+    w_q: float = 0.002
+    max_p: float = 0.1
+    mark_ecn: bool = False
+
+    def __call__(self, name: str) -> REDQueue:
+        return REDQueue(
+            capacity=self.capacity,
+            min_th=self.min_th,
+            max_th=self.max_th,
+            w_q=self.w_q,
+            max_p=self.max_p,
+            rng=self.sim.rng.stream(f"red.{name}"),
+            mark_ecn=self.mark_ecn,
+        )
 
 
 def red_factory(
@@ -50,19 +89,7 @@ def red_factory(
     mark_ecn: bool = False,
 ) -> QueueFactory:
     """Queue factory producing RED gateways seeded from the simulator RNG."""
-
-    def make(name: str) -> REDQueue:
-        return REDQueue(
-            capacity=capacity,
-            min_th=min_th,
-            max_th=max_th,
-            w_q=w_q,
-            max_p=max_p,
-            rng=sim.rng.stream(f"red.{name}"),
-            mark_ecn=mark_ecn,
-        )
-
-    return make
+    return REDFactory(sim, capacity, min_th, max_th, w_q, max_p, mark_ecn)
 
 
 @dataclass

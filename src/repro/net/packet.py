@@ -20,6 +20,27 @@ ACK = "ACK"
 
 _uid_counter = itertools.count(1)
 
+
+def uid_counter_state() -> int:
+    """The next uid that will be allocated (without consuming it).
+
+    Process-global hidden state: packet uids come from a module-level
+    counter, not from any :class:`~repro.sim.engine.Simulator`.  Snapshots
+    (:mod:`repro.checkpoint`) must capture and restore it — a restored run
+    in a fresh process would otherwise re-issue uids still held by pickled
+    in-flight packets, tripping the conservation auditor's unique-uid
+    invariant and diverging from the straight-through run.
+    """
+    return _uid_counter.__reduce__()[1][0]  # non-consuming peek
+
+
+def restore_uid_counter(next_uid: int) -> None:
+    """Reset the process-global uid counter so ``next_uid`` is issued next."""
+    global _uid_counter
+    if next_uid < 1:
+        raise ValueError(f"next_uid must be >= 1, got {next_uid}")
+    _uid_counter = itertools.count(next_uid)
+
 #: Process-wide observer of packet construction (``repro.audit`` installs
 #: one to enforce conservation).  A module global rather than per-instance
 #: state because packets are created in many places (senders, receivers,

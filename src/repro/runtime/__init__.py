@@ -31,7 +31,14 @@ Example::
 """
 
 from .cache import CacheEntry, ResultCache
-from .executor import RunOutcome, default_workers, execute_spec, run_one, run_specs
+from .executor import (
+    RunOutcome,
+    default_workers,
+    execute_spec,
+    run_one,
+    run_specs,
+    snapshot_destination,
+)
 from .metrics import RunMetrics, build_metrics, extract_sim_stats, metrics_table
 from .spec import RunSpec, code_version, derive_seed, replicate
 
@@ -51,4 +58,5 @@ __all__ = [
     "replicate",
     "run_one",
     "run_specs",
+    "snapshot_destination",
 ]

@@ -8,7 +8,17 @@ can never serve a result produced by different simulator code.
 
 Entries are single pickle files written atomically (temp file + rename),
 so a crashed writer never leaves a truncated entry that a later reader
-would trust; unreadable entries are treated as misses and removed.
+would trust; unreadable entries are treated as misses and removed.  A
+writer killed *between* open and rename does leave its anonymous ``*.tmp``
+file behind, though — nothing ever trusted it, but nothing ever reclaimed
+it either, so crashes slowly filled the cache directory with orphans.
+:class:`ResultCache` now sweeps stale temp files on construction (age-
+guarded, so live writers in sibling processes are never raced).
+
+The directory also holds mid-run checkpoint snapshots
+(:meth:`ResultCache.snapshot_path`), content-addressed by the same spec
+key plus the capture time — warm states are cached right next to the
+finished results they short-circuit.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -27,6 +38,11 @@ from .spec import RunSpec, code_version
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _DEFAULT_DIR = ".repro-cache"
+
+#: Orphaned ``*.tmp`` files older than this (seconds) are swept on init.
+#: Any live writer finishes its temp file in well under an hour; anything
+#: older is debris from a writer that died between open and rename.
+TMP_SWEEP_AGE = 3600.0
 
 
 @dataclass(frozen=True)
@@ -63,10 +79,40 @@ class ResultCache:
         self.code = code_version() if code is None else code
         self.hits = 0
         self.misses = 0
+        self.swept_tmp = self._sweep_orphaned_tmp()
+
+    def _sweep_orphaned_tmp(self, max_age: float = TMP_SWEEP_AGE) -> int:
+        """Remove stale ``*.tmp`` debris left by writers that crashed
+        between open and rename; returns how many files were removed.
+
+        Only files older than ``max_age`` go — a concurrent writer's
+        in-progress temp file is seconds old and is left alone.
+        """
+        if not self.path.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age
+        for tmp_path in self.path.glob("*.tmp"):
+            try:
+                if tmp_path.stat().st_mtime < cutoff:
+                    tmp_path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     # ------------------------------------------------------------------
     def _entry_path(self, spec: RunSpec) -> Path:
         return self.path / f"{spec.key(self.code)}.pkl"
+
+    def snapshot_path(self, spec: RunSpec, at: float) -> Path:
+        """Content-addressed location for ``spec``'s snapshot at time ``at``.
+
+        Keyed like result entries (spec canonical form + code version) plus
+        the capture sim-time, so a warm state is reused only by reruns of
+        the exact same spec under the exact same code.
+        """
+        return self.path / f"{spec.key(self.code)}.t{at:g}.ckpt"
 
     def get(self, spec: RunSpec) -> Optional[CacheEntry]:
         """The cached entry for ``spec``, or ``None`` on a miss.
@@ -117,12 +163,13 @@ class ResultCache:
         return sum(1 for _ in self.path.glob("*.pkl"))
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries and snapshots; returns how many were removed."""
         removed = 0
         if self.path.is_dir():
-            for entry_path in self.path.glob("*.pkl"):
-                entry_path.unlink(missing_ok=True)
-                removed += 1
+            for pattern in ("*.pkl", "*.ckpt"):
+                for entry_path in self.path.glob(pattern):
+                    entry_path.unlink(missing_ok=True)
+                    removed += 1
         return removed
 
     def __repr__(self) -> str:

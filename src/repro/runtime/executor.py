@@ -24,6 +24,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
@@ -49,13 +50,29 @@ class RunOutcome:
         return self.error is None
 
 
-def execute_spec(spec: RunSpec) -> Tuple[Any, float]:
+def execute_spec(
+    spec: RunSpec,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+) -> Tuple[Any, float]:
     """Run one spec in the current process; returns (result, wall seconds).
 
     This is the function worker processes execute — module-level so it
-    pickles, resolving the entrypoint by name on the worker side.
+    pickles, resolving the entrypoint by name on the worker side.  With
+    ``checkpoint_at`` set, the spec's registered checkpoint runner is used
+    instead of the plain entrypoint: the run pauses at that sim-time,
+    writes a snapshot to ``checkpoint_path``, and continues to the same
+    result.  Resolving ``spec`` imports its entrypoint module, which is
+    what populates the checkpoint-runner registry in this process.
     """
     func = spec.resolve()
+    if checkpoint_at is not None:
+        from ..checkpoint import require_checkpoint_runner, resolve_entrypoint
+
+        runner = resolve_entrypoint(require_checkpoint_runner(spec.entrypoint))
+        start = time.perf_counter()
+        result = runner(dict(spec.params), checkpoint_at, checkpoint_path)
+        return result, time.perf_counter() - start
     start = time.perf_counter()
     result = func(dict(spec.params))
     return result, time.perf_counter() - start
@@ -76,6 +93,27 @@ def default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def snapshot_destination(
+    spec: RunSpec,
+    checkpoint_at: float,
+    cache: Optional[ResultCache] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> str:
+    """Where ``spec``'s mid-run snapshot lands (content-addressed).
+
+    An explicit ``checkpoint_dir`` wins; otherwise the snapshot is keyed
+    into the result cache next to the entries it can warm-start.
+    """
+    if checkpoint_dir is not None:
+        return str(Path(checkpoint_dir) / f"{spec.key()}.t{checkpoint_at:g}.ckpt")
+    if cache is not None:
+        return str(cache.snapshot_path(spec, checkpoint_at))
+    raise SimulationError(
+        "checkpoint_at needs somewhere to write snapshots: pass "
+        "checkpoint_dir or a cache"
+    )
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
@@ -83,6 +121,8 @@ def run_specs(
     timeout: Optional[float] = None,
     retries: int = 1,
     strict: bool = True,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[RunOutcome]:
     """Execute every spec; return outcomes in input order.
 
@@ -105,12 +145,27 @@ def run_specs(
         When True (default), raise :class:`SimulationError` if any run
         is still failing after all retries; when False, return its
         outcome with ``error`` set and ``result=None``.
+    checkpoint_at:
+        Interior sim-time at which every (non-cached) run writes a
+        resumable snapshot before continuing — results are unchanged.
+        Requires each spec's entrypoint to have a registered checkpoint
+        runner, and ``checkpoint_dir`` or ``cache`` for the destination.
+    checkpoint_dir:
+        Directory for snapshot files (defaults to the cache directory).
     """
     if retries < 0:
         raise SimulationError(f"retries must be >= 0, got {retries}")
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     attempts = [0] * len(specs)
     todo: List[int] = []
+
+    ckpt_paths: List[Optional[str]] = [None] * len(specs)
+    if checkpoint_at is not None:
+        ckpt_paths = [
+            snapshot_destination(spec, checkpoint_at, cache=cache,
+                                 checkpoint_dir=checkpoint_dir)
+            for spec in specs
+        ]
 
     for index, spec in enumerate(specs):
         entry = cache.get(spec) if cache is not None else None
@@ -150,7 +205,8 @@ def run_specs(
             while outcomes[index] is None:
                 attempts[index] += 1
                 try:
-                    result, wall = execute_spec(specs[index])
+                    result, wall = execute_spec(
+                        specs[index], checkpoint_at, ckpt_paths[index])
                 except Exception:
                     record_failure(index, traceback.format_exc(limit=8))
                 else:
@@ -159,7 +215,8 @@ def run_specs(
         pending = todo
         while pending:
             pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-            futures = {pool.submit(execute_spec, specs[index]): index
+            futures = {pool.submit(execute_spec, specs[index],
+                                   checkpoint_at, ckpt_paths[index]): index
                        for index in pending}
             pending = []
             waiting = set(futures)

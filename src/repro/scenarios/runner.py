@@ -16,6 +16,7 @@ allocations.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..models.fairness import jain_index
@@ -30,8 +31,51 @@ from .traffic import TRAFFIC_STREAM, place_traffic
 MEMBERS_STREAM = "scenario.members"
 
 
-def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
-    """Execute one scenario and return its JSON-friendly report row."""
+@dataclass
+class ScenarioWorld:
+    """A live (or restored) scenario run between build and report.
+
+    Like :class:`repro.experiments.runner.TreeWorld`, this is the unit
+    :mod:`repro.checkpoint` snapshots — the whole object graph (engine,
+    topology, traffic, churn driver, audit ledgers) pickles at once.
+    """
+
+    spec: ScenarioSpec
+    sim: Simulator
+    topo: Any
+    gateways: List[Any]
+    placed: Any
+    session: RLASession
+    driver: ChurnDriver
+    auditor: Any = None
+    monitor: Any = None
+    #: True once the warmup boundary has been crossed and counters marked.
+    marked: bool = False
+
+    @property
+    def end_time(self) -> float:
+        """Absolute sim-time at which the scenario ends."""
+        return self.spec.horizon
+
+    def rearm(self) -> None:
+        """Re-install process-global audit state after a restore."""
+        if self.auditor is not None:
+            self.auditor.rearm()
+
+    def disarm(self) -> None:
+        """Release process-global audit state (safe to call when unaudited)."""
+        if self.auditor is not None:
+            self.auditor.detach()
+            self.sim.event_hook = None
+
+
+def build_scenario_world(spec: ScenarioSpec) -> ScenarioWorld:
+    """Construct topology, membership, traffic and churn for one scenario.
+
+    On an audited spec this installs the process-global packet-creation
+    hook; callers must eventually :meth:`ScenarioWorld.disarm` (the run
+    helpers below do so in ``finally`` blocks).
+    """
     spec.validate()
     sim = Simulator(seed=spec.seed)
     topo = build_topology(sim, spec.topology, spec.gateway)
@@ -82,68 +126,172 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
         session.start(0.05)
         driver = ChurnDriver(sim, session, events)
         driver.start()
-
-        # -- run: warmup, mark, measure --------------------------------
-        sim.run(until=spec.warmup)
-        session.mark()
-        for flow in placed.tcp_flows:
-            flow.mark()
-        sim.run(until=spec.horizon)
-
-        # -- report -----------------------------------------------------
-        rla = session.report()
-        tcp_rates = [flow.report()["throughput_pps"]
-                     for flow in placed.tcp_flows]
-        rla_pps = max(rla["throughput_pps"], 0.0)
-        wtcp = min(tcp_rates) if tcp_rates else float("nan")
-        ratio = rla_pps / wtcp if tcp_rates and wtcp > 0 else float("nan")
-        jain = (jain_index([rla_pps] + [max(r, 0.0) for r in tcp_rates])
-                if tcp_rates else 1.0)
-
-        sim_stats: Dict[str, float] = {
-            "events": sim.events_executed,
-            "drops": sum(gw.dropped for gw in gateways),
-            "peak_queue_depth": max(gw.peak_depth for gw in gateways),
-            "sim_time": sim.now,
-        }
-        if auditor is not None:
-            for flow in placed.tcp_flows:
-                monitor.check_tcp(flow.sender)
-            if placed.mice is not None:
-                for mouse in placed.mice.mice:
-                    monitor.check_tcp(mouse.sender)
-            monitor.check_rla(session.sender)
-            auditor.verify()
-            sim_stats["audit_checks"] = monitor.checks_run
-            sim_stats["violations"] = monitor.violation_count
-
-        row: Dict[str, Any] = {
-            "scenario": spec.name,
-            "topology": type(spec.topology).__name__,
-            "gateway": spec.gateway,
-            "seed": spec.seed,
-            "n_nodes": len(topo.net.nodes),
-            "n_links": topo.n_links,
-            "rla_pps": rla_pps,
-            "wtcp_pps": wtcp,
-            "ratio": ratio,
-            "jain": jain,
-            "n_receivers": rla["n_receivers"],
-            "joins": rla["member_joins"],
-            "leaves": rla["member_leaves"],
-            "churn_applied": len(driver.applied),
-            "num_trouble": rla["num_trouble"],
-            "rtx_multicast": rla["rtx_multicast"],
-            "rtx_unicast": rla["rtx_unicast"],
-            "sim_stats": sim_stats,
-        }
-        if placed.mice is not None:
-            row.update(placed.mice.stats())
-        return row
-    finally:
+    except BaseException:
         if auditor is not None:
             auditor.detach()
             sim.event_hook = None
+        raise
+
+    return ScenarioWorld(
+        spec=spec, sim=sim, topo=topo, gateways=gateways, placed=placed,
+        session=session, driver=driver, auditor=auditor, monitor=monitor,
+    )
+
+
+def advance_scenario_world(world: ScenarioWorld, until: float) -> None:
+    """Run forward to absolute sim-time ``until``, marking at the warmup.
+
+    Splitting the run at any interior time executes the identical event
+    sequence as one straight run — the checkpoint byte-identity oracle
+    rests on this equivalence.
+    """
+    spec = world.spec
+    if until > world.end_time:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"cannot advance to t={until}: scenario ends at t={world.end_time}"
+        )
+    if not world.marked:
+        world.sim.run(until=min(until, spec.warmup))
+        if until >= spec.warmup:
+            world.session.mark()
+            for flow in world.placed.tcp_flows:
+                flow.mark()
+            world.marked = True
+    if until > spec.warmup:
+        world.sim.run(until=until)
+
+
+def finalize_scenario_world(world: ScenarioWorld) -> Dict[str, Any]:
+    """Collect the report row from a fully advanced scenario world."""
+    spec = world.spec
+    sim = world.sim
+    placed = world.placed
+    rla = world.session.report()
+    tcp_rates = [flow.report()["throughput_pps"]
+                 for flow in placed.tcp_flows]
+    rla_pps = max(rla["throughput_pps"], 0.0)
+    wtcp = min(tcp_rates) if tcp_rates else float("nan")
+    ratio = rla_pps / wtcp if tcp_rates and wtcp > 0 else float("nan")
+    jain = (jain_index([rla_pps] + [max(r, 0.0) for r in tcp_rates])
+            if tcp_rates else 1.0)
+
+    sim_stats: Dict[str, float] = {
+        "events": sim.events_executed,
+        "drops": sum(gw.dropped for gw in world.gateways),
+        "peak_queue_depth": max(gw.peak_depth for gw in world.gateways),
+        "sim_time": sim.now,
+    }
+    if world.auditor is not None:
+        monitor = world.monitor
+        for flow in placed.tcp_flows:
+            monitor.check_tcp(flow.sender)
+        if placed.mice is not None:
+            for mouse in placed.mice.mice:
+                monitor.check_tcp(mouse.sender)
+        monitor.check_rla(world.session.sender)
+        world.auditor.verify()
+        sim_stats["audit_checks"] = monitor.checks_run
+        sim_stats["violations"] = monitor.violation_count
+
+    row: Dict[str, Any] = {
+        "scenario": spec.name,
+        "topology": type(spec.topology).__name__,
+        "gateway": spec.gateway,
+        "seed": spec.seed,
+        "n_nodes": len(world.topo.net.nodes),
+        "n_links": world.topo.n_links,
+        "rla_pps": rla_pps,
+        "wtcp_pps": wtcp,
+        "ratio": ratio,
+        "jain": jain,
+        "n_receivers": rla["n_receivers"],
+        "joins": rla["member_joins"],
+        "leaves": rla["member_leaves"],
+        "churn_applied": len(world.driver.applied),
+        "num_trouble": rla["num_trouble"],
+        "rtx_multicast": rla["rtx_multicast"],
+        "rtx_unicast": rla["rtx_unicast"],
+        "sim_stats": sim_stats,
+    }
+    if placed.mice is not None:
+        row.update(placed.mice.stats())
+    return row
+
+
+#: Resume entrypoint recorded in scenario snapshots.
+SCENARIO_RESUME_ENTRYPOINT = "repro.scenarios.runner:resume_scenario_world"
+
+
+def resume_scenario_world(world: ScenarioWorld) -> Dict[str, Any]:
+    """Finish a restored scenario: run to the end and report (then disarm)."""
+    try:
+        advance_scenario_world(world, world.end_time)
+        return finalize_scenario_world(world)
+    finally:
+        world.disarm()
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Execute one scenario and return its JSON-friendly report row.
+
+    With ``checkpoint_at`` set, the run pauses at that interior sim-time,
+    captures a :class:`repro.checkpoint.Snapshot` (written to
+    ``checkpoint_path`` when given), and continues — the returned row is
+    identical to an uncheckpointed run.
+    """
+    world = build_scenario_world(spec)
+    try:
+        if checkpoint_at is not None:
+            snapshot = snapshot_scenario_world(world, at=checkpoint_at)
+            if checkpoint_path is not None:
+                from ..checkpoint import save
+
+                save(snapshot, checkpoint_path)
+        advance_scenario_world(world, world.end_time)
+        return finalize_scenario_world(world)
+    finally:
+        world.disarm()
+
+
+def snapshot_scenario_world(world: ScenarioWorld, at: Optional[float] = None,
+                            label: str = ""):
+    """Advance to ``at`` (if given) and capture a resumable snapshot."""
+    from ..checkpoint import capture
+
+    if at is not None:
+        if not 0.0 <= at < world.end_time:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"checkpoint time {at} outside [0, {world.end_time})"
+            )
+        advance_scenario_world(world, at)
+    return capture(
+        world,
+        label=label or f"{world.spec.name}@t={world.sim.now:g}",
+        resume=SCENARIO_RESUME_ENTRYPOINT,
+    )
+
+
+def checkpoint_scenario(spec: ScenarioSpec, at: float,
+                        path: Optional[str] = None):
+    """Run a fresh scenario up to ``at`` and return (and save) a snapshot."""
+    world = build_scenario_world(spec)
+    try:
+        snapshot = snapshot_scenario_world(world, at=at)
+    finally:
+        world.disarm()
+    if path is not None:
+        from ..checkpoint import save
+
+        save(snapshot, path)
+    return snapshot
 
 
 # ----------------------------------------------------------------------
@@ -153,9 +301,35 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
 SCENARIO_ENTRYPOINT = "repro.scenarios.runner:run_scenario_spec"
 
 
+SCENARIO_CHECKPOINT_RUNNER = (
+    "repro.scenarios.runner:run_scenario_spec_checkpointed"
+)
+
+
 def run_scenario_spec(params: Dict[str, Any]) -> Dict[str, Any]:
     """:mod:`repro.runtime` entrypoint: ``params = {"spec": ScenarioSpec}``."""
     return run_scenario(params["spec"])
+
+
+def run_scenario_spec_checkpointed(
+    params: Dict[str, Any],
+    checkpoint_at: float,
+    checkpoint_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Checkpoint-capable variant of :func:`run_scenario_spec`."""
+    return run_scenario(
+        params["spec"], checkpoint_at=checkpoint_at,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def _register_checkpoint_runner() -> None:
+    from ..checkpoint import register_checkpoint_runner
+
+    register_checkpoint_runner(SCENARIO_ENTRYPOINT, SCENARIO_CHECKPOINT_RUNNER)
+
+
+_register_checkpoint_runner()
 
 
 def scenario_runspec(spec: ScenarioSpec):
@@ -174,18 +348,25 @@ def run_scenarios(
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
+    checkpoint_at: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run scenarios serially, or fan out through :mod:`repro.runtime`.
 
     With ``workers``/``cache`` set the rows are byte-identical to the
     serial path — scenarios draw only from their own seeded streams.
+    ``checkpoint_at`` makes every non-cached run write a resumable
+    snapshot at that interior sim-time (to ``checkpoint_dir`` or the
+    cache directory) on its way to the same row.
     """
-    if workers is None and cache is None:
+    if workers is None and cache is None and checkpoint_at is None:
         return [run_scenario(spec) for spec in specs]
     from ..runtime import run_specs
 
     run_specs_list = [scenario_runspec(spec) for spec in specs]
-    outs = run_specs(run_specs_list, workers=workers, cache=cache)
+    outs = run_specs(run_specs_list, workers=workers, cache=cache,
+                     checkpoint_at=checkpoint_at,
+                     checkpoint_dir=checkpoint_dir)
     if outcomes is not None:
         outcomes.extend(outs)
     return [out.result for out in outs]

@@ -44,3 +44,35 @@ class RngStreams:
     def names(self):
         """Names of all streams created so far (sorted, for debugging)."""
         return sorted(self._streams)
+
+    # ------------------------------------------------------------------
+    # checkpoint / fork support
+    # ------------------------------------------------------------------
+    def stream_states(self) -> Dict[str, object]:
+        """``name -> random.Random.getstate()`` for every live stream.
+
+        Used by :mod:`repro.checkpoint` tests to prove snapshots round-trip
+        every stream's Mersenne state exactly (the streams themselves pickle
+        via the same ``getstate``/``setstate`` pair).
+        """
+        return {name: stream.getstate()
+                for name, stream in sorted(self._streams.items())}
+
+    def reseed(self, label: str) -> None:
+        """Derive a branch-specific randomness future for a forked world.
+
+        Every existing stream is re-seeded from ``(master seed, label,
+        stream name)`` using the same CRC mixing as :meth:`stream`, and the
+        master seed itself is re-derived so streams created *after* the
+        fork diverge between branches too.  Deterministic: forking the same
+        snapshot with the same label always yields the same future.
+        """
+        branch_seed = (
+            self.seed * 2654435761 + zlib.crc32(label.encode("utf-8"))
+        ) % (2**63)
+        self.seed = branch_seed
+        for name, stream in self._streams.items():
+            derived = (
+                branch_seed * 2654435761 + zlib.crc32(name.encode("utf-8"))
+            ) % (2**63)
+            stream.seed(derived)

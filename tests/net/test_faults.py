@@ -74,9 +74,22 @@ def test_random_drop_fires_drop_hook_once():
 
 def test_validation():
     with pytest.raises(ConfigurationError):
-        RandomDropQueue(DropTailQueue(10), 1.0)
+        RandomDropQueue(DropTailQueue(10), 1.0, rng=random.Random(1))
     with pytest.raises(ConfigurationError):
-        RandomDropQueue(DropTailQueue(10), -0.1)
+        RandomDropQueue(DropTailQueue(10), -0.1, rng=random.Random(1))
+
+
+def test_missing_rng_is_rejected():
+    # Regression: the loss channel used to default to a private
+    # random.Random(0), silently decoupled from the engine's named
+    # streams — identical seeds then produced different drop patterns
+    # than the documented stream derivation, and snapshot/restore could
+    # not capture the hidden state.  Injection is now mandatory,
+    # mirroring REDQueue.
+    with pytest.raises(ConfigurationError, match="rng"):
+        RandomDropQueue(DropTailQueue(10), 0.1)
+    with pytest.raises(ConfigurationError, match="sim"):
+        random_drop_factory(droptail_factory(20), 0.1)("A->B")
 
 
 def _lossy_net(sim, drop_prob):

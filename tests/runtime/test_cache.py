@@ -67,3 +67,86 @@ def test_no_stray_temp_files(tmp_path):
     cache = ResultCache(tmp_path, code="c1")
     cache.put(RunSpec(ECHO, {"x": 1}), "v", _metrics())
     assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# orphaned temp-file sweep (crash between open and rename)
+# ----------------------------------------------------------------------
+def _orphan(tmp_path, name, age_seconds):
+    """Plant a temp file whose mtime is age_seconds in the past."""
+    import os
+    import time
+
+    path = tmp_path / name
+    path.write_bytes(b"partial write from a dead process")
+    stamp = time.time() - age_seconds
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_init_sweeps_stale_orphaned_tmp_files(tmp_path):
+    # Regression: a writer killed between mkstemp() and os.replace()
+    # leaves an anonymous .tmp file that no later reader ever trusted —
+    # but nothing ever deleted it either, so every crash permanently
+    # leaked a file into the cache directory.
+    stale = _orphan(tmp_path, "deadbeef.tmp", age_seconds=7200)
+    cache = ResultCache(tmp_path, code="c1")
+    assert not stale.exists()
+    assert cache.swept_tmp == 1
+
+
+def test_init_leaves_fresh_tmp_files_alone(tmp_path):
+    # A sibling process may be mid-put right now: its seconds-old temp
+    # file must never be raced.
+    fresh = _orphan(tmp_path, "inflight.tmp", age_seconds=5)
+    cache = ResultCache(tmp_path, code="c1")
+    assert fresh.exists()
+    assert cache.swept_tmp == 0
+
+
+def test_sweep_ignores_real_entries(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    spec = RunSpec(ECHO, {"x": 1})
+    cache.put(spec, "keep", _metrics())
+    _orphan(tmp_path, "old.tmp", age_seconds=7200)
+    again = ResultCache(tmp_path, code="c1")
+    assert again.swept_tmp == 1
+    assert again.get(spec) is not None
+
+
+def test_crash_during_put_leaves_no_trusted_state(tmp_path, monkeypatch):
+    # Simulate the pickling step dying mid-write: put() must propagate,
+    # remove its own temp file, and never publish the entry.
+    import pickle as pickle_module
+
+    cache = ResultCache(tmp_path, code="c1")
+    spec = RunSpec(ECHO, {"x": 1})
+
+    def exploding_dump(*args, **kwargs):
+        raise RuntimeError("simulated crash mid-write")
+
+    monkeypatch.setattr(pickle_module, "dump", exploding_dump)
+    with pytest.raises(RuntimeError):
+        cache.put(spec, "half", _metrics())
+    monkeypatch.undo()
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert cache.get(spec) is None  # nothing was published
+
+
+def test_snapshot_path_is_content_addressed(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    a = cache.snapshot_path(RunSpec(ECHO, {"x": 1}), 15.0)
+    b = cache.snapshot_path(RunSpec(ECHO, {"x": 1}), 15.0)
+    c = cache.snapshot_path(RunSpec(ECHO, {"x": 2}), 15.0)
+    d = cache.snapshot_path(RunSpec(ECHO, {"x": 1}), 30.0)
+    assert a == b
+    assert len({a, c, d}) == 3
+    assert a.name.endswith(".t15.ckpt")
+
+
+def test_clear_removes_snapshots_too(tmp_path):
+    cache = ResultCache(tmp_path, code="c1")
+    cache.put(RunSpec(ECHO, {"x": 1}), "v", _metrics())
+    cache.snapshot_path(RunSpec(ECHO, {"x": 1}), 5.0).write_bytes(b"ckpt")
+    assert cache.clear() == 2
+    assert list(tmp_path.iterdir()) == []

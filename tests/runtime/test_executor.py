@@ -127,3 +127,51 @@ def test_workers_overlap_wall_clock():
 def test_invalid_retries_rejected():
     with pytest.raises(SimulationError):
         run_specs(_echo_specs(1), retries=-1)
+
+
+# ----------------------------------------------------------------------
+# mid-run checkpointing through the executor
+# ----------------------------------------------------------------------
+def _tiny_scenario_specs(n=2):
+    from repro.scenarios.catalog import get_scenario
+    from repro.scenarios.runner import scenario_runspec
+
+    return [scenario_runspec(get_scenario("tree-churn", duration=4.0,
+                                          warmup=1.0, seed=seed))
+            for seed in range(1, n + 1)]
+
+
+def test_checkpoint_at_writes_snapshots_and_keeps_results(tmp_path):
+    import pickle
+
+    from repro.checkpoint import load
+
+    specs = _tiny_scenario_specs()
+    plain = run_specs(specs, workers=1)
+    checkpointed = run_specs(specs, workers=1, checkpoint_at=2.0,
+                             checkpoint_dir=str(tmp_path))
+    assert (pickle.dumps([o.result for o in checkpointed])
+            == pickle.dumps([o.result for o in plain]))
+    snapshots = sorted(tmp_path.glob("*.t2.ckpt"))
+    assert len(snapshots) == len(specs)
+    assert all(load(path).sim_time == 2.0 for path in snapshots)
+
+
+def test_checkpoint_snapshots_land_in_cache_by_default(tmp_path):
+    cache = ResultCache(tmp_path)
+    [spec] = _tiny_scenario_specs(1)
+    run_specs([spec], workers=1, cache=cache, checkpoint_at=2.0)
+    assert cache.snapshot_path(spec, 2.0).exists()
+
+
+def test_checkpoint_at_without_destination_is_an_error():
+    with pytest.raises(SimulationError, match="somewhere to write"):
+        run_specs(_tiny_scenario_specs(1), workers=1, checkpoint_at=2.0)
+
+
+def test_checkpoint_at_requires_registered_runner(tmp_path):
+    # ECHO has no checkpoint runner; the failure must say so.
+    spec = RunSpec(ECHO, {"x": 0, "events": 10})
+    with pytest.raises(SimulationError, match="checkpoint"):
+        run_specs([spec], workers=1, checkpoint_at=1.0,
+                  checkpoint_dir=str(tmp_path), retries=0)

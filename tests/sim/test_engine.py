@@ -358,3 +358,91 @@ def test_ready_batch_replays_identically_under_compaction():
 
     assert run_once() == run_once()
     assert run_once()[0] == list(range(1, 20, 2))
+
+
+# ----------------------------------------------------------------------
+# cancel/peek/pending interleavings (lazy-cancellation accounting)
+# ----------------------------------------------------------------------
+def test_interleaved_cancel_peek_pending_accounting():
+    # Regression guard for the peek()/_cancelled interaction: the seed
+    # implementation popped cancelled heap entries in peek() WITHOUT
+    # decrementing the lazy-cancellation counter, so a peek over
+    # cancelled events made pending() under-count live events forever
+    # after (and could push _cancelled above the physical queue size).
+    # Interleave every operation pair and check the books at each step.
+    sim = Simulator()
+    events = {t: sim.schedule(float(t), lambda: None) for t in range(1, 9)}
+
+    events[1].cancel()
+    events[2].cancel()
+    assert sim.pending() == 6
+    assert sim.peek() == 3.0          # pops two cancelled entries
+    assert sim.pending() == 6         # counter followed the pops
+    assert sim.queue_size() == 6      # physically gone too
+
+    events[4].cancel()
+    assert sim.pending() == 5         # cancel after peek still counted once
+    assert sim.peek() == 3.0          # head live: nothing to pop
+    assert sim.pending() == 5
+
+    # peek between cancels of the same head
+    events[3].cancel()
+    assert sim.peek() == 5.0
+    events[5].cancel()                # note: 4 already cancelled, deeper
+    assert sim.peek() == 6.0          # pops 5 and the buried 4
+    assert sim.pending() == 3
+    assert sim.queue_size() == 3
+
+    executed = sim.run()
+    assert executed == 3
+    assert sim.pending() == 0
+    assert sim.events_executed == 3
+
+
+def test_peek_inside_callback_keeps_counts_with_cancelled_ready_events():
+    # peek() also prunes the same-timestamp ready deque; cancelling an
+    # immediate and then peeking from within the running callback must
+    # keep pending() exact while the batch is still live.
+    sim = Simulator()
+    observed = []
+
+    def burst():
+        immediates = [sim.schedule(sim.now, observed.append, i)
+                      for i in range(3)]
+        immediates[0].cancel()
+        observed.append(("peek", sim.peek(), sim.pending()))
+
+    sim.schedule(1.0, burst)
+    sim.schedule(2.0, observed.append, "tail")
+    sim.run()
+    # the cancelled immediate was pruned by peek (head of ready deque),
+    # leaving 2 immediates + the 2.0 event pending at that instant
+    assert observed[0] == ("peek", 1.0, 3)
+    assert observed[1:] == [1, 2, "tail"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["cancel", "peek", "pending"]),
+                min_size=1, max_size=60),
+       st.randoms(use_true_random=False))
+def test_property_cancel_peek_pending_never_drift(ops, rng):
+    # Ground-truth bookkeeping: after any interleaving of cancels and
+    # peeks (with compaction forced on aggressively), pending() must
+    # equal the number of live events and the eventual run() must
+    # execute exactly those.
+    sim = Simulator()
+    sim.COMPACT_MIN_CANCELLED = 2     # force frequent compactions
+    live = {t: sim.schedule(float(t + 1), lambda: None)
+            for t in range(30)}
+    for op in ops:
+        if op == "cancel" and live:
+            key = rng.choice(sorted(live))
+            live.pop(key).cancel()
+        elif op == "peek":
+            head = sim.peek()
+            expected = min(live) + 1.0 if live else None
+            assert head == expected
+        elif op == "pending":
+            assert sim.pending() == len(live)
+    assert sim.pending() == len(live)
+    assert sim.run() == len(live)
