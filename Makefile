@@ -17,7 +17,7 @@ bench:
 # per-PR record (see docs/PERFORMANCE.md for the schema and knobs).
 bench-harness:
 	PYTHONPATH=src $(PYTHON) -m repro.bench run --label local \
-		--out BENCH_local.json --compare BENCH_6.json
+		--out BENCH_local.json --compare BENCH_7.json
 
 # The fast smoke subset CI runs on every push (>25% slowdown fails):
 # engine + fig7 plus the two smallest receiver-scaling sizes, so the RLA

@@ -14,7 +14,7 @@ end-of-run imbalance (raised by :meth:`verify`):
 
 * **per flow** — injected == delivered + sunk + replicated + dropped
   + in-flight;
-* **per link** — accepted == dequeued + still queued, and the set of uids
+* **per link** — accepted == dequeued + evicted + still queued, and the set of uids
   the auditor believes queued must equal the gateway's physical contents
   (this is what catches a packet leaked out of — or smuggled into — a
   queue without the hooks firing);
@@ -125,6 +125,7 @@ class ConservationAuditor:
         self._queued_uids[name] = set()
         self.link_counts[name] = {
             "accepted": 0, "dropped": 0, "dequeued": 0, "delivered": 0,
+            "evicted": 0,
         }
         # functools.partial, not lambdas: these hooks live inside the
         # network object graph, which checkpoint snapshots pickle whole.
@@ -170,9 +171,12 @@ class ConservationAuditor:
         state = self._where.pop(packet.uid, None)
         self._record("drop", link=link, flow=packet.flow, seq=packet.seq,
                      uid=packet.uid, reason=reason)
-        # Disciplines in this simulator drop arrivals, but an evicting
-        # discipline (drop-from-front, longest-queue-drop) would legally
-        # drop a queued packet, so both pre-states are accepted.
+        # Most disciplines drop arrivals (_AT_NODE pre-state), but an
+        # evicting discipline — CoDel's drop-at-dequeue — legally drops a
+        # packet it had already queued, so both pre-states are accepted;
+        # the queued case is additionally tallied as an eviction so the
+        # link balance can account for packets that entered the queue but
+        # never came out the front.
         self.monitor.require(
             "conservation.drop_alive",
             state is not None and state[0] in (_AT_NODE, _QUEUED),
@@ -180,6 +184,7 @@ class ConservationAuditor:
         )
         if state is not None and state[0] == _QUEUED and state[1] is not None:
             self._queued_uids[state[1]].discard(packet.uid)
+            self.link_counts[state[1]]["evicted"] += 1
         self.dropped_by_flow[packet.flow] += 1
         self.link_counts[link]["dropped"] += 1
 
@@ -268,7 +273,8 @@ class ConservationAuditor:
             counts = self.link_counts[name]
             monitor.require(
                 "conservation.link_balance",
-                counts["accepted"] == counts["dequeued"] + len(tracked)
+                counts["accepted"]
+                == counts["dequeued"] + counts["evicted"] + len(tracked)
                 and counts["dequeued"]
                 == counts["delivered"] + transit_by_link[name],
                 now, link=name, in_queue=len(tracked),

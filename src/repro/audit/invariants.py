@@ -117,12 +117,17 @@ class InvariantMonitor:
     def check_gateway(self, name: str, gateway: "Gateway", time: float) -> None:
         """Gateway bookkeeping: counters must agree with physical storage."""
         physical = len(gateway.contents())
+        # ``evicted`` covers dequeue-time discards (CoDel): those packets
+        # were enqueued but never dequeued, so plain enqueued - dequeued
+        # over-counts occupancy by exactly that number.
         self.require(
             "gateway.depth_consistent",
             gateway.depth == physical
-            and gateway.enqueued - gateway.dequeued == physical,
+            and gateway.enqueued - gateway.dequeued - gateway.evicted
+            == physical,
             time, link=name, depth=gateway.depth, physical=physical,
             enqueued=gateway.enqueued, dequeued=gateway.dequeued,
+            evicted=gateway.evicted,
         )
         self.require(
             "gateway.bytes_nonnegative", gateway.bytes_queued >= 0,

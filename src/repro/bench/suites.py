@@ -86,6 +86,23 @@ def _scenarios(scale: Mapping[str, float]) -> int:
     return events
 
 
+def _aqm_grid(scale: Mapping[str, float]) -> int:
+    """AQM matrix slice: {codel, pie, red-byte} on the RTT-cohort dumbbell.
+
+    One cell per new discipline (trimodal packet mix, wide RTT spread,
+    drop mode), so the sojourn bookkeeping, PI-controller updates and
+    byte-mode averaging all sit under the regression gate.
+    """
+    from ..scenarios.grid import GridSpec, run_grid
+
+    grid = GridSpec(disciplines=("codel", "pie", "red-byte"),
+                    mixes=("trimodal",), spreads=("wide",),
+                    ecn_modes=(False,),
+                    duration=scale["duration"], warmup=scale["warmup"])
+    _specs, rows = run_grid(grid)
+    return sum(int(row["sim_stats"]["events"]) for row in rows)
+
+
 def _rla_scale_run(n_receivers: int, scale: Mapping[str, float]) -> int:
     """Receiver-scaling star: constant event budget, growing group size.
 
@@ -246,6 +263,9 @@ SUITES: Dict[str, Suite] = {
               _fig9, "bench_fig9_red.py"),
         Suite("scenarios", "catalog smoke: waxman-churn + tree-bursty",
               _scenarios, "bench_sweeps.py / scenarios catalog"),
+        Suite("aqm_grid",
+              "AQM matrix slice: codel/pie/red-byte on RTT cohorts",
+              _aqm_grid, "scenarios grid / docs/SCENARIOS.md"),
         Suite("ensemble_cold",
               f"{ENSEMBLE_BRANCHES} independent cold churn runs (fork baseline)",
               _ensemble_cold, "checkpoint fork ensemble / docs/PERFORMANCE.md"),

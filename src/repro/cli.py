@@ -160,8 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override discarded warmup seconds")
     scen_run.add_argument("--seed", type=int, default=None,
                           help="override the scenario seed")
-    scen_run.add_argument("--gateway", choices=["droptail", "red"],
+    from .net.network import GATEWAY_DISCIPLINES
+
+    scen_run.add_argument("--gateway", choices=list(GATEWAY_DISCIPLINES),
                           default=None, help="override the gateway type")
+    scen_run.add_argument("--ecn", action="store_true", default=None,
+                          help="CE-mark instead of early-dropping (needs an "
+                               "AQM gateway) and let endpoints react to marks")
     scen_run.add_argument("--workers", type=int, default=None, metavar="N",
                           help="run scenarios over N worker processes")
     scen_run.add_argument("--cache", nargs="?", const="", default=None,
@@ -174,6 +179,43 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--audit", action="store_true",
                           help="run under the conservation auditor")
     _add_checkpoint_args(scen_run)
+
+    from .scenarios.grid import PACKET_MIXES, RTT_SPREADS
+
+    scen_grid = scen_sub.add_parser(
+        "grid", help="run the AQM x heterogeneity study matrix")
+    scen_grid.add_argument("--gateways", nargs="+", metavar="GW",
+                           choices=list(GATEWAY_DISCIPLINES), default=None,
+                           help="restrict the queue-discipline axis "
+                                "(default: all disciplines)")
+    scen_grid.add_argument("--mixes", nargs="+", metavar="MIX",
+                           choices=list(PACKET_MIXES), default=None,
+                           help="restrict the packet-size-mix axis "
+                                "(default: all mixes)")
+    scen_grid.add_argument("--spreads", nargs="+", metavar="RTT",
+                           choices=list(RTT_SPREADS), default=None,
+                           help="restrict the RTT-spread axis "
+                                "(default: all spreads)")
+    scen_grid.add_argument("--ecn", choices=["off", "on", "both"],
+                           default="both",
+                           help="ECN axis (droptail+on cells are skipped)")
+    scen_grid.add_argument("--duration", type=float, default=20.0,
+                           help="measured seconds after warmup per cell")
+    scen_grid.add_argument("--warmup", type=float, default=5.0,
+                           help="discarded warmup seconds per cell")
+    scen_grid.add_argument("--seed", type=int, default=1,
+                           help="seed shared by every cell")
+    scen_grid.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="run cells over N worker processes")
+    scen_grid.add_argument("--cache", nargs="?", const="", default=None,
+                           metavar="DIR",
+                           help="serve unchanged runs from the on-disk "
+                                "result cache")
+    scen_grid.add_argument("--metrics", action="store_true",
+                           help="print the per-run runtime summary table")
+    scen_grid.add_argument("--audit", action="store_true",
+                           help="run every cell under the conservation "
+                                "auditor")
 
     resume_p = sub.add_parser(
         "resume", help="restore a snapshot file and run it to completion")
@@ -265,9 +307,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.action == "list":
             print(format_catalog())
             return 0
+        if args.action == "grid":
+            from .scenarios.grid import GridSpec, format_grid, run_grid
+
+            grid = GridSpec(
+                disciplines=tuple(args.gateways or ()),
+                mixes=tuple(args.mixes or ()),
+                spreads=tuple(args.spreads or ()),
+                ecn_modes={"off": (False,), "on": (True,),
+                           "both": (False, True)}[args.ecn],
+                duration=args.duration, warmup=args.warmup,
+                seed=args.seed, audited=args.audit,
+            )
+            outcomes = []
+            specs, rows = run_grid(grid, **_runtime_kwargs(args, outcomes))
+            print(format_grid(specs, rows))
+            _print_metrics(args, outcomes)
+            return 0
         overrides = {k: v for k, v in (
             ("duration", args.duration), ("warmup", args.warmup),
             ("seed", args.seed), ("gateway", args.gateway),
+            ("ecn", args.ecn),
         ) if v is not None}
         if args.audit:
             overrides["audited"] = True

@@ -58,9 +58,13 @@ def jain_index(values: Sequence[float]) -> float:
     if any(v < 0 for v in xs):
         raise ConfigurationError(f"negative allocation in {xs!r}")
     total = sum(xs)
-    if total == 0.0:
+    squares = sum(v * v for v in xs)
+    if total == 0.0 or squares == 0.0:
+        # All-zero is perfectly equal.  squares can also underflow to 0
+        # for subnormal allocations whose sum is still positive; at that
+        # magnitude the allocations are indistinguishable from equal.
         return 1.0
-    return (total * total) / (len(xs) * sum(v * v for v in xs))
+    return (total * total) / (len(xs) * squares)
 
 
 def essential_fairness_bounds(n: int, gateway: str) -> Tuple[float, float]:

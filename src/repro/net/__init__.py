@@ -5,26 +5,41 @@ Public surface re-exported here; see DESIGN.md systems S2-S5.
 
 from .addressing import flow_id, group_address, is_multicast
 from .apps import CbrSource, PacketSink
+from .codel import CoDelQueue
 from .droptail import DropTailQueue
 from .faults import RandomDropQueue, random_drop_factory
 from .link import Link
 from .monitor import QueueMonitor
 from .multicast import shortest_path_tree, tree_edges
-from .network import Network, QueueFactory, droptail_factory, red_factory
+from .network import (
+    GATEWAY_DISCIPLINES,
+    Network,
+    QueueFactory,
+    codel_factory,
+    discipline_factory,
+    droptail_factory,
+    pie_factory,
+    red_factory,
+)
 from .node import Node
 from .packet import ACK, DATA, Packet, SackBlock
+from .pie import PIEQueue
 from .queue import Gateway
-from .red import REDQueue
+from .red import AdaptiveREDQueue, REDQueue
 
 __all__ = [
     "ACK",
     "DATA",
+    "AdaptiveREDQueue",
     "CbrSource",
+    "CoDelQueue",
     "DropTailQueue",
+    "GATEWAY_DISCIPLINES",
     "Gateway",
     "Link",
     "Network",
     "Node",
+    "PIEQueue",
     "Packet",
     "PacketSink",
     "QueueFactory",
@@ -33,10 +48,13 @@ __all__ = [
     "RandomDropQueue",
     "random_drop_factory",
     "SackBlock",
+    "codel_factory",
+    "discipline_factory",
     "droptail_factory",
     "flow_id",
     "group_address",
     "is_multicast",
+    "pie_factory",
     "red_factory",
     "shortest_path_tree",
     "tree_edges",

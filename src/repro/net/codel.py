@@ -1,0 +1,180 @@
+"""CoDel — Controlled Delay AQM (Nichols & Jacobson, RFC 8289).
+
+Unlike RED, CoDel keys on *sojourn time* (how long the head-of-line
+packet actually waited) instead of queue length, and it drops at
+**dequeue** time: when the minimum sojourn has stayed above ``target``
+(default 5 ms) for a whole ``interval`` (default 100 ms), the gateway
+enters a dropping state and discards head packets at intervals of
+``interval / sqrt(count)`` until the standing queue drains.  The control
+law is deterministic — no RNG is involved.
+
+Dequeue-time discards are a new lifecycle for this simulator: the packet
+*was* accepted, so they are accounted in :attr:`Gateway.evicted` (cause
+``"sojourn"``) and occupancy conservation becomes
+``enqueued - dequeued - evicted == depth``; `repro.audit` understands
+this taxonomy.
+
+With ``mark_ecn=True`` the control law sets CE on ECT packets instead of
+evicting them (RFC 8289 §3; the count/state machinery advances the same
+way), matching the ECN extension on the RED variants.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..units import ms
+from .packet import Packet
+from .queue import Gateway
+
+
+class CoDelQueue(Gateway):
+    """A CoDel gateway: sojourn-time controlled, drop-at-dequeue."""
+
+    discipline = "codel"
+
+    def __init__(
+        self,
+        capacity: int = 20,
+        target: float = ms(5),
+        interval: float = ms(100),
+        mark_ecn: bool = False,
+    ) -> None:
+        super().__init__(capacity)
+        if target <= 0:
+            raise ValueError(f"non-positive sojourn target: {target}")
+        if interval <= 0:
+            raise ValueError(f"non-positive interval: {interval}")
+        #: Acceptable standing sojourn time (RFC 8289 default 5 ms).
+        self.target = target
+        #: Sliding window over which the minimum sojourn must exceed
+        #: ``target`` before dropping starts (default 100 ms ~ worst RTT).
+        self.interval = interval
+        self.mark_ecn = mark_ecn
+        #: Arrival timestamp for each queued packet, parallel to ``_queue``.
+        self._arrival: Deque[float] = deque()
+        # RFC 8289 control-law state.
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._count = 0
+        self._lastcount = 0
+        self._dropping = False
+        # statistics
+        self.sojourn_drops = 0
+        self.ecn_marks = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity:
+            self._notify_drop(now, packet, "overflow")
+            return False
+        self._arrival.append(now)
+        self._accept(now, packet)
+        return True
+
+    # ------------------------------------------------------------------
+    def _pop_head(self, now: float) -> Tuple[Packet, float]:
+        """Remove the head packet and its arrival time (caller accounts it)."""
+        packet = self._queue.popleft()
+        arrived = self._arrival.popleft()
+        self.bytes_queued -= packet.size
+        return packet, arrived
+
+    def _evict(self, now: float, packet: Packet) -> None:
+        """Discard an already-queued packet per the control law."""
+        self.evicted += 1
+        self.sojourn_drops += 1
+        self._notify_drop(now, packet, "sojourn")
+
+    def _deliver(self, now: float, packet: Packet) -> Packet:
+        self.dequeued += 1
+        if self._dequeue_hooks:
+            self._notify_dequeue(now, packet)
+        return packet
+
+    def _should_drop(self, now: float, sojourn: float) -> bool:
+        """RFC 8289 ``ok_to_drop``: sojourn above target for a full interval.
+
+        The byte-backlog escape hatch (never drop when less than one MTU
+        is queued) is expressed in packets here — a single queued packet
+        is always delivered untouched.
+        """
+        if sojourn < self.target or len(self._queue) == 0:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def _control_law(self, now: float) -> float:
+        """Next drop time: ``interval / sqrt(count)`` after ``now``."""
+        return now + self.interval / math.sqrt(self._count)
+
+    def _notify_congestion(self, now: float, packet: Packet) -> bool:
+        """Evict or CE-mark one packet; True if it was consumed (evicted)."""
+        if self.mark_ecn and packet.ect:
+            self.ecn_marks += 1
+            packet.ce = True
+            return False
+        self._evict(now, packet)
+        return True
+
+    # ------------------------------------------------------------------
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            self._first_above_time = 0.0
+            self._dropping = False
+            return None
+        packet, arrived = self._pop_head(now)
+        ok_to_drop = self._should_drop(now, now - arrived)
+
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+            else:
+                # Evict heads on the interval/sqrt(count) schedule until the
+                # sojourn falls back under target or the queue drains.
+                while self._dropping and now >= self._drop_next:
+                    self._count += 1
+                    if not self._notify_congestion(now, packet):
+                        # CE-marked: the notification is carried by this
+                        # packet — deliver it, next one due at drop_next.
+                        self._drop_next = self._control_law(self._drop_next)
+                        break
+                    if not self._queue:
+                        self._dropping = False
+                        return None
+                    packet, arrived = self._pop_head(now)
+                    ok_to_drop = self._should_drop(now, now - arrived)
+                    if not ok_to_drop:
+                        self._dropping = False
+                        break
+                    self._drop_next = self._control_law(self._drop_next)
+        elif ok_to_drop:
+            consumed = self._notify_congestion(now, packet)
+            self._dropping = True
+            # RFC 8289: restart count near its prior value when the last
+            # dropping state ended recently — keeps the drop rate adapted
+            # to a persistent bottleneck instead of relearning each cycle.
+            delta = self._count - self._lastcount
+            if delta > 1 and now - self._drop_next < 16.0 * self.interval:
+                self._count = delta
+            else:
+                self._count = 1
+            self._lastcount = self._count
+            self._drop_next = self._control_law(now)
+            if consumed:
+                if not self._queue:
+                    self._dropping = False
+                    return None
+                packet, arrived = self._pop_head(now)
+                self._should_drop(now, now - arrived)
+
+        return self._deliver(now, packet)
+
+    # ------------------------------------------------------------------
+    def contents(self) -> Tuple[Packet, ...]:
+        return tuple(self._queue)

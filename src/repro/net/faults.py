@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
 from .packet import Packet
-from .queue import DequeueHook, EnqueueHook, Gateway
+from .queue import DequeueHook, DropHook, EnqueueHook, Gateway
 
 
 class RandomDropQueue(Gateway):
@@ -50,13 +50,21 @@ class RandomDropQueue(Gateway):
     def enqueue(self, now: float, packet: Packet) -> bool:
         if self.rng.random() < self.drop_prob:
             self.random_drops += 1
-            self._notify_drop(now, packet, "random")
+            # Fire the wrapper's own hook list directly: `dropped` is a
+            # derived property (random_drops + inner.dropped), so the
+            # counter bump inside _notify_drop must not run.
+            hooks = self._drop_hooks
+            if hooks:
+                for hook in hooks:
+                    hook(now, packet, "random")
             return False
         accepted = self.inner.enqueue(now, packet)
         if accepted:
             self.enqueued += 1
-        else:
-            self._notify_drop(now, packet, "overflow")
+        # Inner rejections are NOT re-reported here: the inner discipline
+        # already notified its drop hooks with the true cause ("early",
+        # "forced", "overflow") and bumped inner.dropped.  Re-notifying as
+        # "overflow" masked RED's causes and double-counted every loss.
         return accepted
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -67,13 +75,18 @@ class RandomDropQueue(Gateway):
 
     # Storage lives in the inner gateway, so observers of arrivals and
     # removals must be registered where `_accept`/`dequeue` actually run.
-    # Drop hooks stay on this wrapper: it is the single place that sees
-    # every loss (random and overflow) exactly once.
+    # Drop hooks register in BOTH places: the inner discipline reports its
+    # own losses with their true causes, the wrapper adds only the
+    # Bernoulli "random" coin losses the inner queue never sees.
     def on_enqueue(self, hook: EnqueueHook) -> None:
         self.inner.on_enqueue(hook)
 
     def on_dequeue(self, hook: DequeueHook) -> None:
         self.inner.on_dequeue(hook)
+
+    def on_drop(self, hook: DropHook) -> None:
+        self.inner.on_drop(hook)
+        self._drop_hooks.append(hook)
 
     def contents(self) -> Tuple[Packet, ...]:
         return self.inner.contents()
@@ -85,6 +98,45 @@ class RandomDropQueue(Gateway):
     def depth(self) -> int:
         """Current inner queue length in packets."""
         return self.inner.depth
+
+    @property
+    def dropped(self) -> int:
+        """Total losses: the wrapper's coin plus the inner discipline's."""
+        return self.random_drops + self.inner.dropped
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        # Assigned by Gateway.__init__ before `inner` exists.  The composite
+        # is derived (random_drops + inner.dropped), so the base-class zero
+        # is simply discarded; later assignment would corrupt the split.
+        if "inner" in self.__dict__:
+            raise AttributeError(
+                "RandomDropQueue.dropped is derived; set random_drops or "
+                "inner.dropped instead"
+            )
+
+    @property
+    def bytes_queued(self) -> int:
+        """Bytes held in the inner queue (storage lives inside)."""
+        return self.inner.bytes_queued
+
+    @bytes_queued.setter
+    def bytes_queued(self, value: int) -> None:
+        # Assigned by Gateway.__init__ before `inner` exists; the inner
+        # gateway tracks the real value, so the base-class zero is discarded.
+        if "inner" in self.__dict__:
+            self.inner.bytes_queued = value
+
+    @property
+    def evicted(self) -> int:
+        """Dequeue-time evictions by the inner discipline (e.g. CoDel)."""
+        return self.inner.evicted
+
+    @evicted.setter
+    def evicted(self, value: int) -> None:
+        # Same pre-`inner` guard as peak_depth/bytes_queued.
+        if "inner" in self.__dict__:
+            self.inner.evicted = value
 
     @property
     def peak_depth(self) -> int:

@@ -35,6 +35,7 @@ class Link:
         bandwidth_bps: float,
         delay_s: float,
         gateway: Gateway,
+        mean_packet_size: int = DEFAULT_PACKET_SIZE,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ConfigurationError(f"link {name}: non-positive bandwidth")
@@ -58,8 +59,16 @@ class Link:
         # packet showed up in figure-7 profiles.
         self._tx_name = f"{name}.tx"
         self._rx_name = f"{name}.rx"
-        # Let RED age its average by the typical (1000-byte) service time.
-        gateway.mean_pkt_time = transmission_time(DEFAULT_PACKET_SIZE, bandwidth_bps)
+        if mean_packet_size <= 0:
+            raise ConfigurationError(
+                f"link {name}: non-positive mean_packet_size"
+            )
+        #: Mean packet size this link is provisioned for; RED ages its
+        #: average — and byte-mode RED scales its thresholds — by the
+        #: matching service time, so mixed-size scenarios must pass their
+        #: configured mean instead of inheriting the 1000-byte default.
+        self.mean_packet_size = mean_packet_size
+        gateway.mean_pkt_time = transmission_time(mean_packet_size, bandwidth_bps)
 
     # ------------------------------------------------------------------
     def on_deliver(self, hook: DeliverHook) -> None:

@@ -23,12 +23,15 @@ import networkx as nx
 
 from ..errors import TopologyError
 from ..sim.engine import Simulator
+from ..units import DEFAULT_PACKET_SIZE
+from .codel import CoDelQueue
 from .droptail import DropTailQueue
 from .link import Link
 from .multicast import shortest_path_tree
 from .node import Node
+from .pie import PIEQueue
 from .queue import Gateway
-from .red import REDQueue
+from .red import AdaptiveREDQueue, REDQueue
 
 #: A factory receives the directed link name (e.g. "S->G1") and returns a
 #: fresh gateway for that direction.
@@ -57,7 +60,13 @@ def droptail_factory(capacity: int = 20) -> QueueFactory:
 
 @dataclass
 class REDFactory:
-    """Picklable queue factory producing RED gateways seeded from ``sim.rng``."""
+    """Picklable queue factory producing RED gateways seeded from ``sim.rng``.
+
+    ``byte_mode`` switches the produced gateways to byte-based averaging
+    (thresholds here stay in *packets* and are scaled to bytes by
+    ``mean_packet_size`` at construction, so one parameterization serves
+    both modes); ``adaptive`` produces :class:`AdaptiveREDQueue`.
+    """
 
     sim: Simulator
     capacity: int = 20
@@ -66,16 +75,26 @@ class REDFactory:
     w_q: float = 0.002
     max_p: float = 0.1
     mark_ecn: bool = False
+    byte_mode: bool = False
+    adaptive: bool = False
+    mean_packet_size: int = DEFAULT_PACKET_SIZE
 
     def __call__(self, name: str) -> REDQueue:
-        return REDQueue(
+        min_th, max_th = self.min_th, self.max_th
+        if self.byte_mode:
+            min_th *= self.mean_packet_size
+            max_th *= self.mean_packet_size
+        cls = AdaptiveREDQueue if self.adaptive else REDQueue
+        return cls(
             capacity=self.capacity,
-            min_th=self.min_th,
-            max_th=self.max_th,
+            min_th=min_th,
+            max_th=max_th,
             w_q=self.w_q,
             max_p=self.max_p,
             rng=self.sim.rng.stream(f"red.{name}"),
             mark_ecn=self.mark_ecn,
+            byte_mode=self.byte_mode,
+            mean_packet_size=self.mean_packet_size,
         )
 
 
@@ -87,9 +106,119 @@ def red_factory(
     w_q: float = 0.002,
     max_p: float = 0.1,
     mark_ecn: bool = False,
+    byte_mode: bool = False,
+    adaptive: bool = False,
+    mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> QueueFactory:
     """Queue factory producing RED gateways seeded from the simulator RNG."""
-    return REDFactory(sim, capacity, min_th, max_th, w_q, max_p, mark_ecn)
+    return REDFactory(sim, capacity, min_th, max_th, w_q, max_p, mark_ecn,
+                      byte_mode, adaptive, mean_packet_size)
+
+
+@dataclass
+class CoDelFactory:
+    """Picklable queue factory producing CoDel gateways (no RNG needed)."""
+
+    capacity: int = 20
+    target: float = 0.005
+    interval: float = 0.1
+    mark_ecn: bool = False
+
+    def __call__(self, name: str) -> CoDelQueue:
+        return CoDelQueue(
+            capacity=self.capacity,
+            target=self.target,
+            interval=self.interval,
+            mark_ecn=self.mark_ecn,
+        )
+
+
+def codel_factory(
+    capacity: int = 20,
+    target: float = 0.005,
+    interval: float = 0.1,
+    mark_ecn: bool = False,
+) -> QueueFactory:
+    """Queue factory producing CoDel gateways (sojourn-controlled)."""
+    return CoDelFactory(capacity, target, interval, mark_ecn)
+
+
+@dataclass
+class PIEFactory:
+    """Picklable queue factory producing PIE gateways seeded from ``sim.rng``."""
+
+    sim: Simulator
+    capacity: int = 20
+    target: float = 0.015
+    t_update: float = 0.015
+    mark_ecn: bool = False
+
+    def __call__(self, name: str) -> PIEQueue:
+        return PIEQueue(
+            capacity=self.capacity,
+            target=self.target,
+            t_update=self.t_update,
+            rng=self.sim.rng.stream(f"pie.{name}"),
+            mark_ecn=self.mark_ecn,
+        )
+
+
+def pie_factory(
+    sim: Simulator,
+    capacity: int = 20,
+    target: float = 0.015,
+    t_update: float = 0.015,
+    mark_ecn: bool = False,
+) -> QueueFactory:
+    """Queue factory producing PIE gateways seeded from the simulator RNG."""
+    return PIEFactory(sim, capacity, target, t_update, mark_ecn)
+
+
+#: Every queue discipline selectable by name (scenario specs, CLI flags).
+#: Names are the public contract — ``ScenarioSpec.gateway`` validates
+#: against this tuple and :func:`discipline_factory` dispatches on it.
+GATEWAY_DISCIPLINES: Tuple[str, ...] = (
+    "droptail", "red", "red-byte", "red-adaptive", "codel", "pie",
+)
+
+
+def discipline_factory(
+    discipline: str,
+    sim: Simulator,
+    capacity: int = 20,
+    mark_ecn: bool = False,
+    mean_packet_size: int = DEFAULT_PACKET_SIZE,
+) -> QueueFactory:
+    """Build the queue factory for a discipline name from the registry.
+
+    RED variants inherit the repo-wide buffer parameterization (thresholds
+    at 25% / 75% of the physical buffer — the scaling scenario topologies
+    have always used); CoDel and PIE use their RFC default targets.  ECN
+    (``mark_ecn``) applies to every discipline except drop-tail, which has
+    no early-notification mechanism to piggyback a mark on.
+    """
+    if discipline not in GATEWAY_DISCIPLINES:
+        raise TopologyError(
+            f"unknown queue discipline {discipline!r}; "
+            f"expected one of {GATEWAY_DISCIPLINES}"
+        )
+    if discipline == "droptail":
+        return droptail_factory(capacity)
+    if discipline == "codel":
+        return codel_factory(capacity, mark_ecn=mark_ecn)
+    if discipline == "pie":
+        return pie_factory(sim, capacity, mark_ecn=mark_ecn)
+    min_th = max(1.0, 0.25 * capacity)
+    return red_factory(
+        sim,
+        capacity,
+        min_th=min_th,
+        max_th=max(min_th + 1.0, 0.75 * capacity),
+        mark_ecn=mark_ecn,
+        byte_mode=discipline == "red-byte",
+        adaptive=discipline == "red-adaptive",
+        mean_packet_size=mean_packet_size,
+    )
 
 
 @dataclass
@@ -103,12 +232,21 @@ class GroupState:
 class Network:
     """Container wiring nodes and links onto one simulator."""
 
-    def __init__(self, sim: Simulator, default_queue: Optional[QueueFactory] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        default_queue: Optional[QueueFactory] = None,
+        mean_packet_size: int = DEFAULT_PACKET_SIZE,
+    ) -> None:
         self.sim = sim
         self.nodes: Dict[str, Node] = {}
         #: directed ("a", "b") -> Link
         self.links: Dict[Tuple[str, str], Link] = {}
         self.default_queue: QueueFactory = default_queue or droptail_factory()
+        #: Mean packet size links are provisioned for (RED idle aging and
+        #: byte-mode scaling); mixed-size scenarios set their configured
+        #: mean here once instead of per add_link call.
+        self.mean_packet_size = mean_packet_size
         self.graph = nx.Graph()
         #: group address -> :class:`GroupState`; maintained by
         #: :meth:`join_group` / :meth:`add_member` / :meth:`leave_group`
@@ -141,20 +279,24 @@ class Network:
         delay_s: float,
         queue_factory: Optional[QueueFactory] = None,
         bidirectional: bool = True,
+        mean_packet_size: Optional[int] = None,
     ) -> Tuple[Link, Optional[Link]]:
         """Connect ``a`` and ``b``; returns the (a->b, b->a) links."""
         if (a, b) in self.links:
             raise TopologyError(f"duplicate link {a}->{b}")
         make_queue = queue_factory or self.default_queue
+        pkt_size = mean_packet_size or self.mean_packet_size
         node_a, node_b = self.add_node(a), self.add_node(b)
         forward = Link(
-            self.sim, f"{a}->{b}", node_a, node_b, bandwidth_bps, delay_s, make_queue(f"{a}->{b}")
+            self.sim, f"{a}->{b}", node_a, node_b, bandwidth_bps, delay_s,
+            make_queue(f"{a}->{b}"), mean_packet_size=pkt_size,
         )
         self.links[(a, b)] = forward
         reverse: Optional[Link] = None
         if bidirectional:
             reverse = Link(
-                self.sim, f"{b}->{a}", node_b, node_a, bandwidth_bps, delay_s, make_queue(f"{b}->{a}")
+                self.sim, f"{b}->{a}", node_b, node_a, bandwidth_bps, delay_s,
+                make_queue(f"{b}->{a}"), mean_packet_size=pkt_size,
             )
             self.links[(b, a)] = reverse
         self.graph.add_edge(a, b, delay=delay_s, bandwidth=bandwidth_bps)

@@ -5,8 +5,26 @@ transmitter: arriving packets are offered to :meth:`enqueue` (which may drop
 them — that *is* congestion in this simulator) and the link transmitter
 pulls them back out with :meth:`dequeue` whenever it goes idle.
 
-Concrete disciplines: :class:`repro.net.droptail.DropTailQueue` and
-:class:`repro.net.red.REDQueue`.
+Concrete disciplines: :class:`repro.net.droptail.DropTailQueue`,
+:class:`repro.net.red.REDQueue` (plus byte-mode / adaptive variants),
+:class:`repro.net.codel.CoDelQueue` and :class:`repro.net.pie.PIEQueue`.
+
+Drop-cause taxonomy (the ``reason`` string passed to drop hooks):
+
+========== ==========================================================
+cause      meaning
+========== ==========================================================
+overflow   physical buffer full (every discipline)
+forced     RED average at/above ``max_th`` — deterministic drop
+early      RED probabilistic early drop (or would-be ECN mark)
+random     Bernoulli loss injected by :class:`~repro.net.faults.RandomDropQueue`
+sojourn    CoDel eviction at *dequeue* time (queued packet discarded)
+========== ==========================================================
+
+``sojourn`` drops count in ``dropped`` like every other loss *and* in
+:attr:`Gateway.evicted`: the packet was accepted and enqueued, then
+discarded at the head of line, so occupancy conservation reads
+``enqueued - dequeued - evicted == depth``.
 """
 
 from __future__ import annotations
@@ -37,6 +55,10 @@ class Gateway:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
+        #: Packets accepted into the queue but discarded at *dequeue* time
+        #: (CoDel's drop-at-head law).  Zero for arrival-drop disciplines;
+        #: auditors check ``enqueued - dequeued - evicted == depth``.
+        self.evicted = 0
         #: Largest queue depth (in packets) ever reached.  Tracked natively
         #: so experiments need no per-enqueue observer hook just to report
         #: peak occupancy — keeping the common no-hook enqueue on its fast

@@ -11,7 +11,23 @@ with the parameterization the authors used in NS2:
 * the count-since-last-drop correction that spaces drops roughly uniformly,
 * idle-time aging of the average using the link's mean packet time.
 
-Packets are *dropped*, not ECN-marked — the 1998 Internet had no ECN.
+Packets are *dropped*, not ECN-marked, by default — the 1998 Internet had
+no ECN — with RFC 3168-style marking available as an extension.
+
+Two variants extend the 1993 algorithm for the AQM × heterogeneity study
+matrix (ROADMAP item 4):
+
+* **byte mode** (``byte_mode=True``) — the queue average and thresholds
+  are measured in *bytes* and the early-notification probability is
+  scaled by ``packet_size / mean_packet_size``, so large packets are
+  proportionally more likely to be dropped.  De Cnodder et al. (*Effect
+  of different packet sizes on RED performance*) show this changes loss
+  allocation qualitatively under mixed packet sizes: packet-mode RED
+  equalizes per-*packet* loss rates, byte-mode RED per-*byte* rates.
+* **adaptive RED** (:class:`AdaptiveREDQueue`) — Floyd, Gummadi &
+  Shenker 2001: ``max_p`` is adapted by AIMD every ``adapt_interval``
+  seconds to hold the average queue inside a target band centred between
+  the thresholds, making loss rates self-tuning across load levels.
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..units import DEFAULT_PACKET_SIZE
 from .packet import Packet
 from .queue import Gateway
 
@@ -37,6 +54,8 @@ class REDQueue(Gateway):
         max_p: float = 0.1,
         rng: Optional[random.Random] = None,
         mark_ecn: bool = False,
+        byte_mode: bool = False,
+        mean_packet_size: int = DEFAULT_PACKET_SIZE,
     ) -> None:
         super().__init__(capacity)
         if not 0 < min_th < max_th:
@@ -45,6 +64,8 @@ class REDQueue(Gateway):
             raise ValueError(f"w_q out of (0, 1]: {w_q}")
         if not 0 < max_p <= 1:
             raise ValueError(f"max_p out of (0, 1]: {max_p}")
+        if mean_packet_size <= 0:
+            raise ValueError(f"non-positive mean_packet_size: {mean_packet_size}")
         if rng is None:
             # A silent random.Random(0) default would bypass the simulator's
             # seeded streams: every directly constructed RED gateway would
@@ -67,7 +88,12 @@ class REDQueue(Gateway):
         #: of dropping them (RFC 3168 style; forced and overflow regions
         #: still drop).  An extension beyond the paper's 1998 setting.
         self.mark_ecn = mark_ecn
-        #: EWMA of the queue length, in packets.
+        #: Byte-mode RED: ``avg`` and the thresholds are in bytes, and the
+        #: early-notification probability scales with packet size.
+        self.byte_mode = byte_mode
+        #: Mean packet size the byte-mode probability scaling normalizes by.
+        self.mean_packet_size = mean_packet_size
+        #: EWMA of the queue length, in packets (bytes when ``byte_mode``).
         self.avg = 0.0
         #: Packets since the last early drop (the uniformization counter).
         self.count = -1
@@ -81,22 +107,36 @@ class REDQueue(Gateway):
     # ------------------------------------------------------------------
     def _update_average(self, now: float) -> None:
         """Refresh ``avg`` at packet arrival, aging it across idle periods."""
-        depth = len(self._queue)
+        depth = self.bytes_queued if self.byte_mode else len(self._queue)
         if depth:
             self.avg += self.w_q * (depth - self.avg)
             return
         # Queue empty: pretend m small packets arrived to an empty queue,
         # where m is how many packets could have been serviced while idle.
+        # (In byte mode the decay exponent is unchanged — the average is in
+        # bytes, but it still decays per *packet* service opportunity.)
         if self._idle_since is not None and self.mean_pkt_time > 0:
             m = (now - self._idle_since) / self.mean_pkt_time
             self.avg *= (1.0 - self.w_q) ** m
+            # Advance the idle mark: if this arrival is dropped and the
+            # queue stays empty, the next arrival must age from *here*,
+            # not decay the already-decayed average over the same gap.
+            self._idle_since = now
         else:
             self.avg += self.w_q * (0.0 - self.avg)
 
-    def _drop_probability(self) -> float:
-        """The geometric inter-drop correction p_a from the RED paper."""
+    def _drop_probability(self, size: int) -> float:
+        """The geometric inter-drop correction p_a from the RED paper.
+
+        ``size`` only matters in byte mode, where the base probability is
+        scaled by ``size / mean_packet_size`` (ns-2's ``bytes_`` scaling)
+        *before* the count correction, so big packets are proportionally
+        likelier to carry the congestion notification.
+        """
         p_b = self.max_p * (self.avg - self.min_th) / self._th_span
         p_b = min(p_b, self.max_p)
+        if self.byte_mode:
+            p_b = min(1.0, p_b * size / self.mean_packet_size)
         if self.count * p_b >= 1.0:
             return 1.0
         return p_b / (1.0 - self.count * p_b)
@@ -104,7 +144,11 @@ class REDQueue(Gateway):
     # ------------------------------------------------------------------
     def enqueue(self, now: float, packet: Packet) -> bool:
         self._update_average(now)
-        self._idle_since = None
+        # _idle_since is cleared on *accept* only (see below).  Clearing it
+        # here, before the accept/drop decision, permanently cancelled idle
+        # aging whenever an arrival was dropped at an empty queue (inflated
+        # avg after a long drain): the stale average never decayed and the
+        # idle gateway kept force-dropping forever.
         if len(self._queue) >= self.capacity:
             # Physical overflow — can happen in bursts even under RED.
             self.overflow_drops += 1
@@ -117,7 +161,7 @@ class REDQueue(Gateway):
             return False
         if self.avg > self.min_th:
             self.count += 1
-            if self.rng.random() < self._drop_probability():
+            if self.rng.random() < self._drop_probability(packet.size):
                 self.count = 0
                 if self.mark_ecn and packet.ect:
                     self.ecn_marks += 1
@@ -128,6 +172,7 @@ class REDQueue(Gateway):
                     return False
         else:
             self.count = -1
+        self._idle_since = None
         self._accept(now, packet)
         return True
 
@@ -136,3 +181,54 @@ class REDQueue(Gateway):
         if packet is not None and not self._queue:
             self._idle_since = now
         return packet
+
+
+class AdaptiveREDQueue(REDQueue):
+    """Adaptive RED (Floyd, Gummadi & Shenker 2001): self-tuning ``max_p``.
+
+    Every ``adapt_interval`` seconds (applied lazily at arrival time, so
+    the gateway needs no timer wiring) ``max_p`` is nudged by AIMD to keep
+    the average queue inside the target band
+    ``[min_th + 0.4*span, min_th + 0.6*span]``:
+
+    * ``avg`` above the band → ``max_p += alpha`` (additive increase,
+      ``alpha = min(0.01, max_p / 4)``), capped at ``top``;
+    * ``avg`` below the band → ``max_p *= beta`` (multiplicative decrease,
+      ``beta = 0.9``), floored at ``bottom``.
+
+    Everything else — averaging, count correction, ECN, byte mode — is
+    inherited unchanged from :class:`REDQueue`.
+    """
+
+    discipline = "red-adaptive"
+
+    #: AIMD constants and ``max_p`` clamps from the Adaptive RED paper.
+    BETA = 0.9
+    MAX_P_TOP = 0.5
+    MAX_P_BOTTOM = 0.01
+
+    def __init__(self, *args, adapt_interval: float = 0.5, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if adapt_interval <= 0:
+            raise ValueError(f"non-positive adapt_interval: {adapt_interval}")
+        self.adapt_interval = adapt_interval
+        self._target_lo = self.min_th + 0.4 * self._th_span
+        self._target_hi = self.min_th + 0.6 * self._th_span
+        self._next_adapt = adapt_interval
+        self.adaptations = 0
+
+    def _adapt(self, now: float) -> None:
+        """Catch up on every adaptation interval that has elapsed."""
+        while self._next_adapt <= now:
+            if self.avg > self._target_hi and self.max_p < self.MAX_P_TOP:
+                self.max_p = min(self.MAX_P_TOP,
+                                 self.max_p + min(0.01, self.max_p / 4.0))
+                self.adaptations += 1
+            elif self.avg < self._target_lo and self.max_p > self.MAX_P_BOTTOM:
+                self.max_p = max(self.MAX_P_BOTTOM, self.max_p * self.BETA)
+                self.adaptations += 1
+            self._next_adapt += self.adapt_interval
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        self._adapt(now)
+        return super().enqueue(now, packet)

@@ -29,6 +29,12 @@ class RunMetrics:
     #: Audit violations: ``None`` = run was not audited.  An audited run
     #: that completes has 0 (strict auditing aborts on the first one).
     violations: Optional[int] = None
+    #: Per-cohort Jain index (label -> index) for runs on cohort
+    #: topologies (e.g. RTT-cohort dumbbells); ``None`` otherwise.
+    cohort_jain: Optional[Dict[str, float]] = None
+    #: Per-cohort essential-fairness verdict (label -> True/False, or
+    #: ``None`` inside the dict when the bound was uncheckable).
+    cohort_bound_ok: Optional[Dict[str, Optional[bool]]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -67,6 +73,13 @@ def build_metrics(
 ) -> RunMetrics:
     """Fold a run's wall time and engine stats into one record."""
     stats = extract_sim_stats(result)
+    cohorts = stats.get("cohorts")
+    cohort_jain = cohort_bound_ok = None
+    if isinstance(cohorts, dict) and cohorts:
+        cohort_jain = {label: float(entry.get("jain", 0.0))
+                       for label, entry in cohorts.items()}
+        cohort_bound_ok = {label: entry.get("bound_ok")
+                           for label, entry in cohorts.items()}
     return RunMetrics(
         label=label,
         wall_time_s=wall_time_s,
@@ -79,6 +92,8 @@ def build_metrics(
         audit_checks=int(stats.get("audit_checks", 0)),
         violations=(int(stats["violations"])
                     if "violations" in stats else None),
+        cohort_jain=cohort_jain,
+        cohort_bound_ok=cohort_bound_ok,
     )
 
 
@@ -99,6 +114,16 @@ def metrics_table(metrics: List[RunMetrics], title: str = "runtime summary") -> 
             f"{m.events_per_sec:>10.0f} {m.drops:>7d} {m.peak_queue_depth:>5d} "
             f"{violations:>4s} {m.attempts:>5d} {source:>6s}"
         )
+        if m.cohort_jain:
+            parts = []
+            for cohort in sorted(m.cohort_jain):
+                bound = (m.cohort_bound_ok or {}).get(cohort)
+                verdict = ("?" if bound is None
+                           else ("ok" if bound else "FAIL"))
+                parts.append(
+                    f"{cohort} jain={m.cohort_jain[cohort]:.3f} bound={verdict}"
+                )
+            lines.append(f"{'':<4s}cohorts: " + "; ".join(parts))
         if not m.cached and not m.error:
             total_wall += m.wall_time_s
             total_events += m.events

@@ -24,6 +24,15 @@ from .catalog import (
     scenario_names,
 )
 from .churn import CHURN_STREAM, ChurnDriver, ChurnSpec, churn_schedule
+from .grid import (
+    PACKET_MIXES,
+    RTT_SPREADS,
+    GridSpec,
+    format_grid,
+    grid_cell,
+    grid_specs,
+    run_grid,
+)
 from .runner import (
     MEMBERS_STREAM,
     SCENARIO_ENTRYPOINT,
@@ -38,6 +47,7 @@ from .topologies import (
     TOPOLOGY_STREAM,
     GeneratedTopology,
     JitteredTreeTopology,
+    RttCohortTopology,
     TransitStubTopology,
     WaxmanTopology,
     build_topology,
@@ -45,6 +55,7 @@ from .topologies import (
 from .traffic import (
     TRAFFIC_STREAM,
     BackgroundTraffic,
+    PacketSizeMix,
     ParetoOnOffSource,
     PlacedTraffic,
     WebMiceWorkload,
@@ -56,6 +67,8 @@ __all__ = [
     "CATALOG",
     "CHURN_STREAM",
     "MEMBERS_STREAM",
+    "PACKET_MIXES",
+    "RTT_SPREADS",
     "SCENARIO_ENTRYPOINT",
     "TOPOLOGY_STREAM",
     "TRAFFIC_STREAM",
@@ -63,9 +76,12 @@ __all__ = [
     "ChurnDriver",
     "ChurnSpec",
     "GeneratedTopology",
+    "GridSpec",
     "JitteredTreeTopology",
+    "PacketSizeMix",
     "ParetoOnOffSource",
     "PlacedTraffic",
+    "RttCohortTopology",
     "ScenarioSpec",
     "TransitStubTopology",
     "WaxmanTopology",
@@ -74,10 +90,14 @@ __all__ = [
     "churn_schedule",
     "describe_scenario",
     "format_catalog",
+    "format_grid",
     "format_scenarios",
     "get_scenario",
+    "grid_cell",
+    "grid_specs",
     "pareto_draw",
     "place_traffic",
+    "run_grid",
     "run_scenario",
     "run_scenario_spec",
     "run_scenarios",

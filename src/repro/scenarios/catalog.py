@@ -14,8 +14,13 @@ from typing import Callable, Dict, List, Tuple
 from ..errors import ConfigurationError
 from .churn import ChurnSpec
 from .spec import ScenarioSpec
-from .topologies import JitteredTreeTopology, TransitStubTopology, WaxmanTopology
-from .traffic import BackgroundTraffic
+from .topologies import (
+    JitteredTreeTopology,
+    RttCohortTopology,
+    TransitStubTopology,
+    WaxmanTopology,
+)
+from .traffic import BackgroundTraffic, PacketSizeMix
 
 
 def _waxman_churn() -> ScenarioSpec:
@@ -103,6 +108,41 @@ def _tree_bursty() -> ScenarioSpec:
     )
 
 
+def _rtt_cohorts(name: str, gateway: str) -> ScenarioSpec:
+    """Fast vs slow RTT cohorts racing across one AQM bottleneck.
+
+    Four ~10 ms-RTT and four ~200 ms-RTT hosts share a 3 Mb/s dumbbell;
+    background TCP lands in both cohorts, packet sizes follow a
+    mice/bulk/video mix, and the report row carries per-cohort Jain and
+    essential-fairness columns.  One entry per studied AQM so the matrix
+    has stable, individually runnable anchor points.
+    """
+    return ScenarioSpec(
+        name=name,
+        topology=RttCohortTopology(),
+        traffic=BackgroundTraffic(tcp_flows=4, mice_rate_per_s=1.0,
+                                  mice_mean_pkts=15),
+        receivers=4,
+        duration=30.0,
+        warmup=10.0,
+        gateway=gateway,
+        packet_sizes=PacketSizeMix(mice_weight=0.3, bulk_weight=0.5,
+                                   video_weight=0.2),
+    )
+
+
+def _rtt_cohorts_codel() -> ScenarioSpec:
+    return _rtt_cohorts("rtt-cohorts-codel", "codel")
+
+
+def _rtt_cohorts_pie() -> ScenarioSpec:
+    return _rtt_cohorts("rtt-cohorts-pie", "pie")
+
+
+def _rtt_cohorts_red_byte() -> ScenarioSpec:
+    return _rtt_cohorts("rtt-cohorts-red-byte", "red-byte")
+
+
 #: name -> (factory, description)
 CATALOG: Dict[str, Tuple[Callable[[], ScenarioSpec], str]] = {
     "waxman-churn": (
@@ -128,6 +168,18 @@ CATALOG: Dict[str, Tuple[Callable[[], ScenarioSpec], str]] = {
     "tree-bursty": (
         _tree_bursty,
         "self-similar on/off cross traffic on a deep jittered tree",
+    ),
+    "rtt-cohorts-codel": (
+        _rtt_cohorts_codel,
+        "fast vs slow RTT cohorts + size mix across a CoDel bottleneck",
+    ),
+    "rtt-cohorts-pie": (
+        _rtt_cohorts_pie,
+        "fast vs slow RTT cohorts + size mix across a PIE bottleneck",
+    ),
+    "rtt-cohorts-red-byte": (
+        _rtt_cohorts_red_byte,
+        "fast vs slow RTT cohorts + size mix across byte-mode RED",
     ),
 }
 

@@ -19,9 +19,12 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from ..models.fairness import jain_index
+from ..models.fairness import DROPTAIL, RED, check_essential_fairness, jain_index
+from ..rla.config import RLAConfig
 from ..rla.session import RLASession
 from ..sim.engine import Simulator
+from ..tcp.config import TcpConfig
+from ..units import DEFAULT_PACKET_SIZE
 from .churn import CHURN_STREAM, ChurnDriver, churn_schedule
 from .spec import ScenarioSpec
 from .topologies import build_topology
@@ -78,7 +81,10 @@ def build_scenario_world(spec: ScenarioSpec) -> ScenarioWorld:
     """
     spec.validate()
     sim = Simulator(seed=spec.seed)
-    topo = build_topology(sim, spec.topology, spec.gateway)
+    mean_pkt = (spec.packet_sizes.mean_size if spec.packet_sizes is not None
+                else DEFAULT_PACKET_SIZE)
+    topo = build_topology(sim, spec.topology, spec.gateway, ecn=spec.ecn,
+                          mean_packet_size=mean_pkt)
 
     # -- membership: fixed draw or churn schedule ----------------------
     churn_rng = sim.rng.stream(CHURN_STREAM)
@@ -114,14 +120,21 @@ def build_scenario_world(spec: ScenarioSpec) -> ScenarioWorld:
 
     try:
         # -- background traffic then the multicast session -------------
+        # ECN/mix kwargs are passed only when the spec opts in, so
+        # opted-out scenarios construct the exact objects (and consume
+        # the exact RNG sequences) they always have.
         traffic_rng = sim.rng.stream(TRAFFIC_STREAM)
+        tcp_config = TcpConfig(ecn=True) if spec.ecn else None
         placed = place_traffic(
             sim, topo.net, spec.traffic, topo.hosts, topo.source,
             duration=spec.horizon, rng=traffic_rng,
+            tcp_config=tcp_config, packet_sizes=spec.packet_sizes,
         )
         for flow in placed.tcp_flows:
             flow.sender.monitor = monitor
-        session = RLASession(sim, topo.net, "rla-0", topo.source, initial)
+        rla_config = RLAConfig(ecn=True) if spec.ecn else None
+        session = RLASession(sim, topo.net, "rla-0", topo.source, initial,
+                             config=rla_config)
         session.sender.monitor = monitor
         session.start(0.05)
         driver = ChurnDriver(sim, session, events)
@@ -183,6 +196,13 @@ def finalize_scenario_world(world: ScenarioWorld) -> Dict[str, Any]:
         "peak_queue_depth": max(gw.peak_depth for gw in world.gateways),
         "sim_time": sim.now,
     }
+    # Extra accounting for the new AQM disciplines only: legacy drop-tail
+    # and packet-mode RED rows keep their exact key set (byte identity
+    # with pre-matrix outputs).
+    if spec.gateway not in ("droptail", "red") or spec.ecn:
+        sim_stats["evicted"] = sum(gw.evicted for gw in world.gateways)
+        sim_stats["ecn_marks"] = sum(getattr(gw, "ecn_marks", 0)
+                                     for gw in world.gateways)
     if world.auditor is not None:
         monitor = world.monitor
         for flow in placed.tcp_flows:
@@ -194,6 +214,13 @@ def finalize_scenario_world(world: ScenarioWorld) -> Dict[str, Any]:
         world.auditor.verify()
         sim_stats["audit_checks"] = monitor.checks_run
         sim_stats["violations"] = monitor.violation_count
+
+    # -- per-cohort fairness (RTT-cohort topologies only) ---------------
+    # Emitted only when the topology labelled its hosts, so cohort-less
+    # scenario rows keep their historical key set exactly.
+    cohort_rows = _cohort_fairness(world, rla_pps, tcp_rates)
+    if cohort_rows:
+        sim_stats["cohorts"] = cohort_rows
 
     row: Dict[str, Any] = {
         "scenario": spec.name,
@@ -215,9 +242,56 @@ def finalize_scenario_world(world: ScenarioWorld) -> Dict[str, Any]:
         "rtx_unicast": rla["rtx_unicast"],
         "sim_stats": sim_stats,
     }
+    if cohort_rows:
+        row["cohorts"] = cohort_rows
     if placed.mice is not None:
         row.update(placed.mice.stats())
     return row
+
+
+def _cohort_fairness(
+    world: ScenarioWorld, rla_pps: float, tcp_rates: List[float]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-cohort Jain indices and essential-fairness verdicts.
+
+    Each cohort is scored as the RLA session vs the long-lived TCP flows
+    whose receivers sit in that cohort: the Jain index over those
+    allocations, plus the Theorem I/II bound check of ``rla / wtcp``
+    against the cohort's slowest flow (drop-tail uses the Theorem II
+    constants; every AQM is scored with the RED constants — they all
+    share RED's uniform-loss-probability property the theorem needs).
+    ``bound_ok`` is ``None`` when a throughput is zero or the cohort has
+    no TCP flow to compare against.
+    """
+    cohorts = getattr(world.topo, "cohorts", {})
+    if not cohorts:
+        return {}
+    spec = world.spec
+    bound_gateway = DROPTAIL if spec.gateway == "droptail" else RED
+    n = max(1, world.session.sender.n_receivers)
+    by_label: Dict[str, List[float]] = {}
+    for (flow_id, dst), rate in zip(world.placed.tcp_placements, tcp_rates):
+        label = cohorts.get(dst)
+        if label is not None:
+            by_label.setdefault(label, []).append(max(rate, 0.0))
+    result: Dict[str, Dict[str, Any]] = {}
+    for label in sorted(set(cohorts.values())):
+        rates = by_label.get(label, [])
+        wtcp = min(rates) if rates else float("nan")
+        entry: Dict[str, Any] = {
+            "n_flows": len(rates),
+            "wtcp_pps": wtcp,
+            "jain": jain_index([rla_pps] + rates) if rates else 1.0,
+            "ratio": (rla_pps / wtcp if rates and wtcp > 0 else float("nan")),
+            "bound_ok": None,
+        }
+        if rates and wtcp > 0 and rla_pps > 0:
+            verdict = check_essential_fairness(rla_pps, wtcp, n, bound_gateway)
+            entry["bound_ok"] = verdict.fair
+            entry["bound_lower"] = verdict.lower
+            entry["bound_upper"] = verdict.upper
+        result[label] = entry
+    return result
 
 
 #: Resume entrypoint recorded in scenario snapshots.

@@ -15,11 +15,18 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..errors import ConfigurationError
+from ..net.network import GATEWAY_DISCIPLINES
 from .churn import ChurnSpec
-from .topologies import JitteredTreeTopology, TransitStubTopology, WaxmanTopology
-from .traffic import BackgroundTraffic
+from .topologies import (
+    JitteredTreeTopology,
+    RttCohortTopology,
+    TransitStubTopology,
+    WaxmanTopology,
+)
+from .traffic import BackgroundTraffic, PacketSizeMix
 
-Topology = Union[WaxmanTopology, TransitStubTopology, JitteredTreeTopology]
+Topology = Union[WaxmanTopology, TransitStubTopology, JitteredTreeTopology,
+                 RttCohortTopology]
 
 
 @dataclass(frozen=True)
@@ -41,7 +48,17 @@ class ScenarioSpec:
     duration: float = 30.0
     warmup: float = 10.0
     seed: int = 1
+    #: Queue discipline on generated links — any name in
+    #: :data:`repro.net.GATEWAY_DISCIPLINES` (droptail, red, red-byte,
+    #: red-adaptive, codel, pie).
     gateway: str = "droptail"
+    #: ECN: gateways CE-mark ECT packets instead of early-dropping, and
+    #: TCP/RLA endpoints negotiate ECT + react to echoed marks.  Invalid
+    #: with drop-tail, which has no early-notification mechanism.
+    ecn: bool = False
+    #: Per-source packet-size heterogeneity; ``None`` keeps the uniform
+    #: 1000-byte default (and the historical RNG draw sequence).
+    packet_sizes: Optional[PacketSizeMix] = None
     audited: bool = False
 
     def validate(self) -> "ScenarioSpec":
@@ -53,10 +70,20 @@ class ScenarioSpec:
                 f"need duration > 0 and warmup >= 0: "
                 f"duration={self.duration}, warmup={self.warmup}"
             )
-        if self.gateway not in ("droptail", "red"):
-            raise ConfigurationError(f"unknown gateway type {self.gateway!r}")
+        if self.gateway not in GATEWAY_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown gateway type {self.gateway!r}; "
+                f"expected one of {GATEWAY_DISCIPLINES}"
+            )
+        if self.ecn and self.gateway == "droptail":
+            raise ConfigurationError(
+                "ecn=True needs an AQM gateway: drop-tail has no early "
+                "notification to convert into a CE mark"
+            )
         self.topology.validate()
         self.traffic.validate()
+        if self.packet_sizes is not None:
+            self.packet_sizes.validate()
         if self.churn is not None:
             self.churn.validate()
         elif self.receivers < 1:

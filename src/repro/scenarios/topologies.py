@@ -31,9 +31,14 @@ from typing import Dict, List, Tuple
 import networkx as nx
 
 from ..errors import TopologyError
-from ..net.network import Network, QueueFactory, droptail_factory, red_factory
+from ..net.network import (
+    Network,
+    QueueFactory,
+    discipline_factory,
+    droptail_factory,
+)
 from ..sim.engine import Simulator
-from ..units import mbps, ms
+from ..units import DEFAULT_PACKET_SIZE, mbps, ms
 
 #: Name of the RNG stream every generator draws from.
 TOPOLOGY_STREAM = "scenario.topology"
@@ -127,8 +132,62 @@ class JitteredTreeTopology:
         return self
 
 
+@dataclass(frozen=True)
+class RttCohortTopology:
+    """Dumbbell with fast and slow receiver cohorts on one bottleneck.
+
+    The classic RTT-unfairness shape: every flow crosses the same
+    ``GL -- GR`` bottleneck (the only link running the discipline under
+    test), but access links behind ``GR`` split the hosts into a *fast*
+    cohort (~10 ms RTT to the source) and a *slow* cohort (~200 ms RTT
+    by default).  TCP throughput scales like 1/RTT, so the cohort
+    structure stresses exactly the heterogeneity the paper's 1998
+    evaluation never covered; the scenario runner reports per-cohort
+    Jain indices and bound verdicts keyed by the labels recorded in
+    :attr:`GeneratedTopology.cohorts`.
+    """
+
+    fast_hosts: int = 4
+    slow_hosts: int = 4
+    #: One-way access delay per cohort (RTT ~= 2 * (access + bottleneck
+    #: + source-side delays)).
+    fast_delay_ms: float = 3.0
+    slow_delay_ms: float = 95.0
+    #: +/- relative jitter drawn per access link so cohort members are
+    #: heterogeneous within the cohort too.
+    delay_jitter: float = 0.1
+    bottleneck_mbps: float = 3.0
+    bottleneck_delay_ms: float = 1.0
+    access_mbps: float = 20.0
+    #: Bottleneck buffer (the AQM's physical capacity).
+    buffer_pkts: int = 25
+    #: Access-link buffers, generous so the bottleneck stays the only
+    #: congestion point.
+    access_buffer_pkts: int = 100
+
+    def validate(self) -> "RttCohortTopology":
+        """Check parameter sanity; returns self for chaining."""
+        if self.fast_hosts < 1 or self.slow_hosts < 1:
+            raise TopologyError("need >= 1 host in each RTT cohort")
+        if not 0.0 < self.fast_delay_ms < self.slow_delay_ms:
+            raise TopologyError(
+                f"need 0 < fast_delay_ms < slow_delay_ms: "
+                f"{self.fast_delay_ms}, {self.slow_delay_ms}"
+            )
+        if not (0.0 <= self.delay_jitter < 1.0):
+            raise TopologyError(f"delay_jitter must be in [0, 1): {self.delay_jitter}")
+        if self.bottleneck_mbps <= 0 or self.access_mbps <= 0:
+            raise TopologyError("bandwidths must be positive")
+        if self.bottleneck_delay_ms <= 0:
+            raise TopologyError("bottleneck delay must be positive")
+        if self.buffer_pkts < 2 or self.access_buffer_pkts < 1:
+            raise TopologyError("buffers must hold at least a couple packets")
+        return self
+
+
 #: Any of the generator specifications.
-TopologySpec = (WaxmanTopology, TransitStubTopology, JitteredTreeTopology)
+TopologySpec = (WaxmanTopology, TransitStubTopology, JitteredTreeTopology,
+                RttCohortTopology)
 
 
 def _check_range(name: str, bounds: Tuple[float, float]) -> None:
@@ -151,6 +210,10 @@ class GeneratedTopology:
     hosts: List[str]
     #: (a, b, bandwidth_bps, delay_s, buffer_pkts) per undirected link
     link_draws: List[Tuple[str, str, float, float, int]] = field(default_factory=list)
+    #: host id -> cohort label (e.g. "fast"/"slow"); empty for topologies
+    #: without cohort structure, in which case the scenario runner emits
+    #: no per-cohort columns.
+    cohorts: Dict[str, str] = field(default_factory=dict)
 
     @property
     def n_links(self) -> int:
@@ -162,33 +225,51 @@ class GeneratedTopology:
 # builders
 # ----------------------------------------------------------------------
 def build_topology(
-    sim: Simulator, spec, gateway: str = "droptail"
+    sim: Simulator,
+    spec,
+    gateway: str = "droptail",
+    ecn: bool = False,
+    mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> GeneratedTopology:
     """Build the network a topology spec describes onto ``sim``.
 
     All randomness comes from the simulator's ``scenario.topology``
     stream: the same (seed, spec) pair always yields the identical
-    network, regardless of process or worker count.
+    network, regardless of process or worker count.  ``gateway`` names
+    any registered queue discipline; ``ecn`` switches its early
+    notifications to CE marking; ``mean_packet_size`` provisions the
+    links' service-time estimate (and byte-mode RED thresholds) for the
+    scenario's configured packet-size mix.
     """
-    if gateway not in ("droptail", "red"):
-        raise TopologyError(f"unknown gateway type {gateway!r}")
+    # Validates the discipline name up front (raises TopologyError).
+    discipline_factory(gateway, sim, mark_ecn=ecn,
+                       mean_packet_size=mean_packet_size)
     rng = sim.rng.stream(TOPOLOGY_STREAM)
     if isinstance(spec, WaxmanTopology):
-        return _build_waxman(sim, spec.validate(), gateway, rng)
+        return _build_waxman(sim, spec.validate(), gateway, rng, ecn,
+                             mean_packet_size)
     if isinstance(spec, TransitStubTopology):
-        return _build_transit_stub(sim, spec.validate(), gateway, rng)
+        return _build_transit_stub(sim, spec.validate(), gateway, rng, ecn,
+                                   mean_packet_size)
     if isinstance(spec, JitteredTreeTopology):
-        return _build_jittered_tree(sim, spec.validate(), gateway, rng)
+        return _build_jittered_tree(sim, spec.validate(), gateway, rng, ecn,
+                                    mean_packet_size)
+    if isinstance(spec, RttCohortTopology):
+        return _build_rtt_cohorts(sim, spec.validate(), gateway, rng, ecn,
+                                  mean_packet_size)
     raise TopologyError(f"unknown topology spec {type(spec).__name__}")
 
 
-def _queue_factory(sim: Simulator, gateway: str, buffer_pkts: int) -> QueueFactory:
-    """Per-link gateway factory with RED thresholds scaled to the buffer."""
-    if gateway == "red":
-        min_th = max(1.0, 0.25 * buffer_pkts)
-        max_th = max(min_th + 1.0, 0.75 * buffer_pkts)
-        return red_factory(sim, capacity=buffer_pkts, min_th=min_th, max_th=max_th)
-    return droptail_factory(buffer_pkts)
+def _queue_factory(
+    sim: Simulator,
+    gateway: str,
+    buffer_pkts: int,
+    ecn: bool = False,
+    mean_packet_size: int = DEFAULT_PACKET_SIZE,
+) -> QueueFactory:
+    """Per-link gateway factory with thresholds scaled to the buffer."""
+    return discipline_factory(gateway, sim, capacity=buffer_pkts,
+                              mark_ecn=ecn, mean_packet_size=mean_packet_size)
 
 
 def _add_drawn_link(
@@ -201,6 +282,8 @@ def _add_drawn_link(
     bandwidth_range: Tuple[float, float],
     delay_range: Tuple[float, float],
     buffer_range: Tuple[int, int],
+    ecn: bool = False,
+    mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> None:
     """Draw one link's parameters and install it bidirectionally."""
     bandwidth = mbps(rng.uniform(*bandwidth_range))
@@ -208,13 +291,15 @@ def _add_drawn_link(
     buffer_pkts = rng.randint(int(buffer_range[0]), int(buffer_range[1]))
     topo.net.add_link(
         a, b, bandwidth, delay,
-        queue_factory=_queue_factory(sim, gateway, buffer_pkts),
+        queue_factory=_queue_factory(sim, gateway, buffer_pkts, ecn,
+                                     mean_packet_size),
     )
     topo.link_draws.append((a, b, bandwidth, delay, buffer_pkts))
 
 
 def _build_waxman(
-    sim: Simulator, spec: WaxmanTopology, gateway: str, rng: random.Random
+    sim: Simulator, spec: WaxmanTopology, gateway: str, rng: random.Random,
+    ecn: bool = False, mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> GeneratedTopology:
     n = spec.n
     positions = [(rng.random(), rng.random()) for _ in range(n)]
@@ -264,11 +349,15 @@ def _build_waxman(
     source_index = max(range(n), key=lambda k: (degree[k], -k))
 
     names = [f"W{k}" for k in range(n)]
-    topo = GeneratedTopology(net=Network(sim), source=names[source_index], hosts=[])
+    topo = GeneratedTopology(
+        net=Network(sim, mean_packet_size=mean_packet_size),
+        source=names[source_index], hosts=[],
+    )
     for i, j in sorted(edges):
         _add_drawn_link(
             topo, sim, gateway, rng, names[i], names[j],
             spec.bandwidth_mbps, spec.delay_ms, spec.buffer_pkts,
+            ecn, mean_packet_size,
         )
     topo.net.build_routes()
     topo.hosts = [name for name in names if name != topo.source]
@@ -276,9 +365,13 @@ def _build_waxman(
 
 
 def _build_transit_stub(
-    sim: Simulator, spec: TransitStubTopology, gateway: str, rng: random.Random
+    sim: Simulator, spec: TransitStubTopology, gateway: str, rng: random.Random,
+    ecn: bool = False, mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> GeneratedTopology:
-    topo = GeneratedTopology(net=Network(sim), source="SRC", hosts=[])
+    topo = GeneratedTopology(
+        net=Network(sim, mean_packet_size=mean_packet_size),
+        source="SRC", hosts=[],
+    )
     transits = [f"T{i}" for i in range(spec.transits)]
 
     # transit core: a ring (a chain for < 3 transits)
@@ -286,11 +379,13 @@ def _build_transit_stub(
         _add_drawn_link(
             topo, sim, gateway, rng, transits[index], transits[index + 1],
             spec.transit_bandwidth_mbps, spec.transit_delay_ms, spec.buffer_pkts,
+            ecn, mean_packet_size,
         )
     if len(transits) >= 3:
         _add_drawn_link(
             topo, sim, gateway, rng, transits[-1], transits[0],
             spec.transit_bandwidth_mbps, spec.transit_delay_ms, spec.buffer_pkts,
+            ecn, mean_packet_size,
         )
 
     # stub domains: router per stub, hosts behind each router
@@ -300,12 +395,14 @@ def _build_transit_stub(
             _add_drawn_link(
                 topo, sim, gateway, rng, transit, router,
                 spec.stub_bandwidth_mbps, spec.stub_delay_ms, spec.buffer_pkts,
+                ecn, mean_packet_size,
             )
             for h_index in range(spec.hosts_per_stub):
                 host = f"H{t_index}.{s_index}.{h_index}"
                 _add_drawn_link(
                     topo, sim, gateway, rng, router, host,
                     spec.stub_bandwidth_mbps, spec.stub_delay_ms, spec.buffer_pkts,
+                    ecn, mean_packet_size,
                 )
                 topo.hosts.append(host)
 
@@ -319,9 +416,13 @@ def _build_transit_stub(
 
 
 def _build_jittered_tree(
-    sim: Simulator, spec: JitteredTreeTopology, gateway: str, rng: random.Random
+    sim: Simulator, spec: JitteredTreeTopology, gateway: str, rng: random.Random,
+    ecn: bool = False, mean_packet_size: int = DEFAULT_PACKET_SIZE,
 ) -> GeneratedTopology:
-    topo = GeneratedTopology(net=Network(sim), source="S", hosts=[])
+    topo = GeneratedTopology(
+        net=Network(sim, mean_packet_size=mean_packet_size),
+        source="S", hosts=[],
+    )
 
     def jittered(base: float) -> float:
         return base * rng.uniform(1.0 - spec.jitter, 1.0 + spec.jitter)
@@ -341,7 +442,8 @@ def _build_jittered_tree(
                                       int(spec.buffer_pkts[1]))
             topo.net.add_link(
                 parent, child, bandwidth, delay,
-                queue_factory=_queue_factory(sim, gateway, buffer_pkts),
+                queue_factory=_queue_factory(sim, gateway, buffer_pkts, ecn,
+                                             mean_packet_size),
             )
             topo.link_draws.append((parent, child, bandwidth, delay, buffer_pkts))
             if leaf:
@@ -350,5 +452,59 @@ def _build_jittered_tree(
                 grow(child, level + 1, f"{label}.")
 
     grow("S", 1, "")
+    topo.net.build_routes()
+    return topo
+
+
+def _build_rtt_cohorts(
+    sim: Simulator, spec: RttCohortTopology, gateway: str, rng: random.Random,
+    ecn: bool = False, mean_packet_size: int = DEFAULT_PACKET_SIZE,
+) -> GeneratedTopology:
+    """Dumbbell: SRC -- GL ==bottleneck== GR -- {fast, slow} access links.
+
+    Only the bottleneck runs the discipline under test; the source feed
+    and per-host access links are generously buffered drop-tail so every
+    congestion signal originates at the shared queue, the setting the
+    essential-fairness theorems reason about.
+    """
+    topo = GeneratedTopology(
+        net=Network(sim, mean_packet_size=mean_packet_size),
+        source="SRC", hosts=[],
+    )
+
+    def plain_link(a: str, b: str, bandwidth: float, delay: float,
+                   buffer_pkts: int) -> None:
+        topo.net.add_link(a, b, bandwidth, delay,
+                          queue_factory=droptail_factory(buffer_pkts))
+        topo.link_draws.append((a, b, bandwidth, delay, buffer_pkts))
+
+    # uncongested source feed into the left gateway
+    plain_link("SRC", "GL", mbps(100), ms(1), 1000)
+
+    # the shared bottleneck, running the AQM under test in both directions
+    bottleneck_bw = mbps(spec.bottleneck_mbps)
+    bottleneck_delay = ms(spec.bottleneck_delay_ms)
+    topo.net.add_link(
+        "GL", "GR", bottleneck_bw, bottleneck_delay,
+        queue_factory=_queue_factory(sim, gateway, spec.buffer_pkts, ecn,
+                                     mean_packet_size),
+    )
+    topo.link_draws.append(
+        ("GL", "GR", bottleneck_bw, bottleneck_delay, spec.buffer_pkts)
+    )
+
+    def access(host: str, cohort: str, base_delay_ms: float) -> None:
+        delay = ms(base_delay_ms * rng.uniform(1.0 - spec.delay_jitter,
+                                               1.0 + spec.delay_jitter))
+        plain_link("GR", host, mbps(spec.access_mbps), delay,
+                   spec.access_buffer_pkts)
+        topo.hosts.append(host)
+        topo.cohorts[host] = cohort
+
+    for index in range(spec.fast_hosts):
+        access(f"F{index}", "fast", spec.fast_delay_ms)
+    for index in range(spec.slow_hosts):
+        access(f"L{index}", "slow", spec.slow_delay_ms)
+
     topo.net.build_routes()
     return topo

@@ -19,6 +19,7 @@ the scenario runner directly; this module covers the generative parts.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -29,9 +30,64 @@ from ..net.network import Network
 from ..sim.engine import Simulator
 from ..tcp.config import TcpConfig
 from ..tcp.flow import TcpFlow
+from ..units import DEFAULT_PACKET_SIZE
 
 #: Name of the RNG stream all workload generators draw from.
 TRAFFIC_STREAM = "scenario.traffic"
+
+
+@dataclass(frozen=True)
+class PacketSizeMix:
+    """Per-source packet-size heterogeneity: mice / bulk / video classes.
+
+    Each traffic source draws its packet size once, at placement time,
+    from the three weighted classes (40-byte ACK-sized mice, 1000-byte
+    bulk — the repo default — and 1400-byte near-MTU video frames).  The
+    weighted :attr:`mean_size` is what links provision their service-time
+    estimate with, and what byte-mode RED normalizes its probability
+    scaling by — the heterogeneity axis of the AQM study matrix.
+    """
+
+    mice_size: int = 40
+    bulk_size: int = DEFAULT_PACKET_SIZE
+    video_size: int = 1400
+    mice_weight: float = 0.0
+    bulk_weight: float = 1.0
+    video_weight: float = 0.0
+
+    def validate(self) -> "PacketSizeMix":
+        """Check parameter sanity; returns self for chaining."""
+        sizes = (self.mice_size, self.bulk_size, self.video_size)
+        weights = (self.mice_weight, self.bulk_weight, self.video_weight)
+        if any(size < 1 for size in sizes):
+            raise ConfigurationError(f"packet sizes must be >= 1 byte: {sizes}")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigurationError(
+                f"class weights must be >= 0 and sum positive: {weights}"
+            )
+        return self
+
+    @property
+    def mean_size(self) -> int:
+        """Weighted mean packet size, rounded to whole bytes (>= 1)."""
+        sizes = (self.mice_size, self.bulk_size, self.video_size)
+        weights = (self.mice_weight, self.bulk_weight, self.video_weight)
+        total = sum(weights)
+        mean = sum(s * w for s, w in zip(sizes, weights)) / total
+        return max(1, int(round(mean)))
+
+    def draw(self, rng: random.Random) -> int:
+        """One weighted class draw (a per-source size, not per-packet)."""
+        sizes = (self.mice_size, self.bulk_size, self.video_size)
+        weights = (self.mice_weight, self.bulk_weight, self.video_weight)
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for size, weight in zip(sizes, weights):
+            acc += weight
+            if point < acc:
+                return size
+        return sizes[-1]
 
 
 def pareto_draw(rng: random.Random, mean: float, alpha: float) -> float:
@@ -114,13 +170,15 @@ class ParetoOnOffSource:
         mean_off_s: float,
         alpha: float,
         rng: random.Random,
+        packet_size: int = DEFAULT_PACKET_SIZE,
     ) -> None:
         self.sim = sim
         self.rng = rng
         self.mean_on_s = mean_on_s
         self.mean_off_s = mean_off_s
         self.alpha = alpha
-        self.source = CbrSource(sim, net.node(src), flow, dst, rate_pps)
+        self.source = CbrSource(sim, net.node(src), flow, dst, rate_pps,
+                                packet_size=packet_size)
         self.sink = PacketSink(net.node(dst), flow)
         self.bursts = 0
 
@@ -235,6 +293,7 @@ def place_traffic(
     duration: float,
     rng: random.Random,
     tcp_config: Optional[TcpConfig] = None,
+    packet_sizes: Optional[PacketSizeMix] = None,
 ) -> PlacedTraffic:
     """Instantiate ``spec`` on the generated topology and start it.
 
@@ -242,11 +301,24 @@ def place_traffic(
     replacement, cycling if there are more flows than hosts); Pareto
     pumps and mice draw hosts freely.  Start offsets are tiny random
     phases so flows do not slow-start in lockstep.
+
+    With a :class:`PacketSizeMix`, every source additionally draws its
+    packet size from the weighted classes.  The extra draws happen ONLY
+    when a mix is configured, so mix-less scenarios consume the exact
+    RNG-stream sequence they always have (same-seed byte identity).
     """
     spec.validate()
     if not hosts:
         raise ConfigurationError("cannot place traffic: topology has no hosts")
     tcp_config = tcp_config or TcpConfig()
+    if packet_sizes is not None:
+        packet_sizes.validate()
+
+    def sized_config() -> TcpConfig:
+        if packet_sizes is None:
+            return tcp_config
+        return dataclasses.replace(tcp_config,
+                                   packet_size=packet_sizes.draw(rng))
 
     flows: List[TcpFlow] = []
     placements: List[Tuple[str, str]] = []
@@ -256,7 +328,7 @@ def place_traffic(
             pool = list(hosts)
         dst = pool.pop(rng.randrange(len(pool)))
         flow_id = f"bg.tcp.{index}"
-        flow = TcpFlow(sim, net, flow_id, source, dst, config=tcp_config)
+        flow = TcpFlow(sim, net, flow_id, source, dst, config=sized_config())
         flow.start(offset=rng.uniform(0.0, 0.5))
         flows.append(flow)
         placements.append((flow_id, dst))
@@ -272,6 +344,8 @@ def place_traffic(
             mean_off_s=spec.pareto_off_s,
             alpha=spec.pareto_alpha,
             rng=rng,
+            packet_size=(packet_sizes.draw(rng) if packet_sizes is not None
+                         else DEFAULT_PACKET_SIZE),
         )
         pump.start(offset=rng.uniform(0.0, 1.0))
         pumps.append(pump)
@@ -286,7 +360,7 @@ def place_traffic(
             max_pkts=spec.mice_max_pkts,
             rng=rng,
             stop_at=duration,
-            config=tcp_config,
+            config=sized_config(),
         )
         mice.start()
 

@@ -3,9 +3,14 @@
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
 from repro.models import fairness as fm
+
+_allocs = st.lists(st.floats(min_value=0.0, max_value=1e6,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=1, max_size=12)
 
 
 def test_soft_bottleneck_picks_min_share():
@@ -77,3 +82,58 @@ def test_absolute_fairness_special_case():
     # a = b = 1: throughput at the soft-bottleneck share
     assert fm.is_absolutely_fair(100, [200, 400], [1, 1], tolerance=0.05)
     assert not fm.is_absolutely_fair(150, [200, 400], [1, 1], tolerance=0.05)
+
+
+# ------------------------------------------------------- jain properties
+@settings(max_examples=100, deadline=None)
+@given(values=_allocs)
+def test_jain_property_stays_in_range(values):
+    """1/n <= jain <= 1 for every non-negative allocation."""
+    index = fm.jain_index(values)
+    assert 1.0 / len(values) <= index <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=_allocs,
+       scale=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+def test_jain_property_scale_invariant(values, scale):
+    """Multiplying every allocation by a constant changes nothing."""
+    index = fm.jain_index(values)
+    scaled = fm.jain_index([v * scale for v in values])
+    assert scaled == pytest.approx(index, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 20),
+       value=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+def test_jain_property_equal_allocations_score_one(n, value):
+    assert fm.jain_index([value] * n) == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 20))
+def test_jain_property_monopolist_hits_lower_bound(n):
+    """One flow taking everything scores exactly 1/n."""
+    assert fm.jain_index([7.5] + [0.0] * (n - 1)) == pytest.approx(1.0 / n)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fast=_allocs, slow=_allocs)
+def test_jain_property_cohort_partitioning(fast, slow):
+    """Pooled fairness never exceeds the best cohort's internal fairness.
+
+    This is the soundness property behind the per-cohort columns: when
+    each RTT cohort is internally fair but the cohorts' means differ, the
+    unfairness must show up in the pooled index, never be hidden by it.
+    """
+    pooled = fm.jain_index(fast + slow)
+    best = max(fm.jain_index(fast), fm.jain_index(slow))
+    assert pooled <= best + 1e-9
+
+
+def test_jain_cohort_partition_example():
+    # Two internally-equal cohorts, 4x apart: pooled index is penalized.
+    assert fm.jain_index([4.0, 4.0]) == 1.0
+    assert fm.jain_index([1.0, 1.0]) == 1.0
+    pooled = fm.jain_index([4.0, 4.0, 1.0, 1.0])
+    assert pooled == pytest.approx(25.0 / 34.0)

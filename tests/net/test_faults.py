@@ -92,6 +92,90 @@ def test_missing_rng_is_rejected():
         random_drop_factory(droptail_factory(20), 0.1)("A->B")
 
 
+def test_inner_red_causes_survive_the_wrapper():
+    """Regression: inner drops must keep their own cause labels.
+
+    The old wrapper re-reported every inner rejection through its own
+    ``_notify_drop(..., "overflow")``: a RED forced or early drop inside
+    the channel reached observers (and the audit ledger) mislabelled as
+    physical overflow, and fired hooks registered on both layers twice.
+    """
+    from repro.net.red import REDQueue
+
+    inner = REDQueue(capacity=100, min_th=2, max_th=4, w_q=1.0,
+                     rng=random.Random(1))
+    queue = RandomDropQueue(inner, 0.0, rng=random.Random(2))
+    reasons = []
+    queue.on_drop(lambda _now, _packet, reason: reasons.append(reason))
+    for seq in range(30):
+        queue.enqueue(0.0, _pkt(seq))
+    assert inner.forced_drops > 0
+    assert "forced" in reasons
+    assert "overflow" not in reasons  # buffer never physically filled
+    # exactly one hook fire per drop, with the inner cause
+    assert len(reasons) == queue.dropped == inner.dropped
+    assert reasons.count("forced") == inner.forced_drops
+    assert reasons.count("early") == inner.early_drops
+
+
+def test_wrapper_dropped_is_not_double_counted():
+    """Regression: ``dropped`` must be random + inner, counted once each."""
+    from repro.net.red import REDQueue
+
+    inner = REDQueue(capacity=8, min_th=2, max_th=4, w_q=1.0,
+                     rng=random.Random(3))
+    queue = RandomDropQueue(inner, 0.25, rng=random.Random(4))
+    offered = 400
+    accepted = 0
+    for seq in range(offered):
+        if queue.enqueue(0.0, _pkt(seq)):
+            accepted += 1
+        if seq % 2 == 0:
+            queue.dequeue(0.0)
+    assert queue.random_drops > 0 and inner.dropped > 0
+    assert queue.dropped == queue.random_drops + inner.dropped
+    assert accepted + queue.dropped == offered
+    assert inner.dropped == (inner.early_drops + inner.forced_drops
+                             + inner.overflow_drops)
+
+
+def test_per_cause_counts_match_the_auditors_ledger():
+    """End-to-end attribution: queue counters == conservation ledger.
+
+    A TCP flow pushes through a Bernoulli channel wrapped around a RED
+    gateway under the ConservationAuditor; every cause counter on the
+    wrapper stack must add up to exactly the drops the ledger recorded —
+    no masking, no double counting.
+    """
+    from repro.audit import ConservationAuditor
+    from repro.net.network import red_factory
+
+    sim = Simulator(seed=9)
+    net = Network(sim)
+    factory = random_drop_factory(
+        red_factory(sim, capacity=10, min_th=2, max_th=6, w_q=0.2),
+        0.05, sim=sim)
+    net.add_link("A", "B", pps_to_bps(200), ms(10), queue_factory=factory)
+    net.build_routes()
+    auditor = ConservationAuditor(sim)
+    auditor.attach(net)
+    try:
+        flow = TcpFlow(sim, net, "tcp-0", "A", "B", limit=300)
+        flow.start()
+        sim.run(until=60.0)
+        auditor.verify()
+    finally:
+        auditor.detach()
+    queue = net.links[("A", "B")].gateway
+    inner = queue.inner
+    ledger = auditor.link_summary()["A->B"]
+    assert ledger["dropped"] > 0
+    assert ledger["dropped"] == queue.dropped
+    assert queue.dropped == queue.random_drops + inner.dropped
+    assert inner.dropped == (inner.early_drops + inner.forced_drops
+                             + inner.overflow_drops)
+
+
 def _lossy_net(sim, drop_prob):
     net = Network(sim)
     factory = random_drop_factory(droptail_factory(20), drop_prob, sim=sim)

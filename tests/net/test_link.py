@@ -121,9 +121,28 @@ def test_mean_pkt_time_installed_on_gateway():
     assert link.gateway.mean_pkt_time == pytest.approx(0.005)
 
 
+def test_mean_pkt_time_follows_configured_packet_size():
+    """Regression: attach used to hardcode DEFAULT_PACKET_SIZE.
+
+    A link provisioned for 500-byte packets told its gateway the service
+    time of 1000-byte ones, so RED idle aging (and PIE's delay estimate)
+    ran at half speed on any non-default-MTU link.
+    """
+    sim = Simulator()
+    link = Link(sim, "A->B", Node("A"), _Catcher("B", sim),
+                pps_to_bps(200), 0.1, DropTailQueue(20),
+                mean_packet_size=500)
+    # 200 pps is sized for 1000-byte packets; 500-byte ones take half.
+    assert link.gateway.mean_pkt_time == pytest.approx(0.0025)
+    assert link.mean_packet_size == 500
+
+
 def test_invalid_parameters_rejected():
     sim = Simulator()
     with pytest.raises(ConfigurationError):
         Link(sim, "bad", Node("A"), Node("B"), 0.0, 0.1, DropTailQueue(5))
     with pytest.raises(ConfigurationError):
         Link(sim, "bad", Node("A"), Node("B"), 1e6, -1.0, DropTailQueue(5))
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", Node("A"), Node("B"), 1e6, 0.1, DropTailQueue(5),
+             mean_packet_size=0)

@@ -1,0 +1,128 @@
+"""PIE gateway: controller bounds, burst guard, idle decay, determinism."""
+
+import random
+
+import pytest
+
+from repro.net.packet import DATA, Packet
+from repro.net.pie import PIEQueue
+
+
+def _pkt(seq, ect=False):
+    packet = Packet(DATA, "f", "A", "B", seq, 1000)
+    packet.ect = ect
+    return packet
+
+
+def _queue(**kwargs):
+    kwargs.setdefault("rng", random.Random(1))
+    queue = PIEQueue(**kwargs)
+    queue.mean_pkt_time = 0.01  # 10 ms per packet service
+    return queue
+
+
+def test_rng_injection_is_required():
+    with pytest.raises(ValueError, match="rng"):
+        PIEQueue(capacity=20)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        _queue(target=0.0)
+    with pytest.raises(ValueError):
+        _queue(t_update=-1.0)
+
+
+def test_probability_stays_in_unit_interval():
+    queue = _queue(capacity=1000, target=0.015, t_update=0.015)
+    t = 0.0
+    for seq in range(2000):
+        t += 0.001
+        queue.enqueue(t, _pkt(seq))
+        assert 0.0 <= queue.p <= 1.0
+        if seq % 5 == 0:
+            queue.dequeue(t)
+    assert queue.updates > 0
+    # a standing queue far above target must have driven p upward
+    assert queue.p > 0.0
+    assert queue.early_drops > 0
+
+
+def test_lazy_update_catches_up_on_every_boundary():
+    queue = _queue(target=0.015, t_update=0.015)
+    queue.enqueue(1.0, _pkt(0))  # 66 boundaries elapsed since t=0
+    assert queue.updates == 66
+
+
+def test_burst_guard_skips_coin_when_nearly_empty():
+    queue = _queue(capacity=100, target=0.015, t_update=0.015)
+    queue.p = 0.9999  # even a huge p must not drop at depth <= 1
+    assert queue.enqueue(0.0, _pkt(0))
+    assert queue.enqueue(0.0, _pkt(1))
+    assert queue.early_drops == 0
+
+
+def test_small_p_low_delay_guard():
+    queue = _queue(capacity=100, target=0.5, t_update=1000.0)
+    for seq in range(5):  # qdelay 0.05 < target/2; p below 0.2
+        queue.p = 0.19
+        assert queue.enqueue(0.0, _pkt(seq))
+    assert queue.early_drops == 0
+
+
+def test_idle_queue_decays_probability():
+    queue = _queue(target=0.015, t_update=0.015)
+    queue.p = 0.5
+    queue._qdelay_old = 0.0
+    queue.enqueue(10.0, _pkt(0))  # hundreds of idle updates elapse
+    assert queue.p < 0.01
+
+
+def test_ecn_mode_marks_instead_of_dropping():
+    queue = _queue(capacity=1000, target=0.001, t_update=0.005,
+                   mark_ecn=True)
+    t = 0.0
+    marked = 0
+    for seq in range(2000):
+        t += 0.001
+        packet = _pkt(seq, ect=True)
+        queue.enqueue(t, packet)
+        marked += packet.ce
+        if seq % 5 == 0:
+            queue.dequeue(t)
+    assert queue.ecn_marks == marked > 0
+    assert queue.early_drops == 0
+
+
+def test_drop_cause_is_early():
+    queue = _queue(capacity=1000, target=0.001, t_update=0.005)
+    reasons = []
+    queue.on_drop(lambda _now, _packet, reason: reasons.append(reason))
+    t = 0.0
+    for seq in range(2000):
+        t += 0.001
+        queue.enqueue(t, _pkt(seq))
+        if seq % 5 == 0:
+            queue.dequeue(t)
+    assert queue.early_drops > 0
+    assert set(reasons) == {"early"}
+    assert queue.dropped == len(reasons)
+    assert queue.evicted == 0
+
+
+def test_same_seed_same_drop_sequence():
+    def pattern(seed):
+        queue = PIEQueue(capacity=50, target=0.005, t_update=0.01,
+                         rng=random.Random(seed))
+        queue.mean_pkt_time = 0.01
+        out = []
+        t = 0.0
+        for seq in range(800):
+            t += 0.002
+            out.append(queue.enqueue(t, _pkt(seq)))
+            if seq % 4 == 0:
+                queue.dequeue(t)
+        return (out, queue.p, queue.updates)
+
+    assert pattern(3) == pattern(3)
+    assert pattern(3) != pattern(4)

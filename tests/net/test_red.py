@@ -122,6 +122,47 @@ def test_red_network_same_seed_replays_identically():
     assert different != first
 
 
+def test_idle_aging_survives_empty_queue_drop():
+    """Regression: a drop at an *empty* queue must not cancel idle aging.
+
+    The old enqueue cleared ``_idle_since`` before the accept/drop
+    decision, so once an inflated average force-dropped an arrival at an
+    idle gateway, the idle clock was gone: the average never decayed and
+    the empty queue kept dropping forever.  After the fix the clock is
+    only cleared on accept, so a later arrival after a long idle gap
+    sees a fully aged average and must be accepted.
+    """
+    queue = REDQueue(capacity=20, min_th=2, max_th=4, w_q=0.5,
+                     rng=random.Random(1))
+    queue.mean_pkt_time = 0.005
+    _fill(queue, 20)                       # drive avg above max_th
+    while queue.dequeue(1.0) is not None:  # drain; avg stays inflated
+        pass
+    assert queue.avg >= queue.max_th
+    # Arrival just after the drain: ~0.2 packet-times of aging cannot
+    # bring avg below max_th, so this is a forced drop at an empty queue.
+    assert not queue.enqueue(1.001, _pkt(50))
+    assert len(queue) == 0
+    # 9 seconds (~1800 packet-times) later the average must have aged
+    # away.  Under the pre-fix code this arrival was force-dropped too.
+    assert queue.enqueue(10.0, _pkt(51))
+    assert queue.avg < queue.min_th
+
+
+def test_idle_aging_does_not_double_decay_repeated_drops():
+    """Back-to-back drops at an empty queue age avg over disjoint gaps."""
+    queue = REDQueue(capacity=20, min_th=2, max_th=400, w_q=0.5,
+                     rng=random.Random(1))
+    queue.mean_pkt_time = 1.0
+    queue.avg = 100.0
+    queue._idle_since = 0.0
+    queue.capacity = 0  # force overflow drops while staying empty-queued
+    queue.enqueue(1.0, _pkt(0))   # ages over [0, 1]: one packet-time
+    queue.enqueue(3.0, _pkt(1))   # must age over [1, 3], not [0, 3]
+    # one then two packet-times of decay: 100 * 0.5 * 0.5**2
+    assert queue.avg == pytest.approx(12.5)
+
+
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 10_000), arrivals=st.integers(1, 200))
 def test_property_accounting_conserved(seed, arrivals):

@@ -1,0 +1,119 @@
+"""Byte-mode and adaptive RED: the study-matrix variants of the gateway."""
+
+import random
+
+import pytest
+
+from repro.net.packet import DATA, Packet
+from repro.net.red import AdaptiveREDQueue, REDQueue
+
+
+def _pkt(seq, size=1000):
+    return Packet(DATA, "f", "A", "B", seq, size)
+
+
+# ---------------------------------------------------------------- byte mode
+def test_byte_mode_average_tracks_bytes():
+    queue = REDQueue(capacity=20, min_th=2000, max_th=8000, w_q=1.0,
+                     byte_mode=True, rng=random.Random(1))
+    queue.enqueue(0.0, _pkt(0, size=500))
+    queue.enqueue(0.0, _pkt(1, size=500))
+    # w_q = 1: avg == instantaneous byte backlog at the last arrival
+    # (the second arrival saw 500 bytes queued)
+    assert queue.avg == 500.0
+    assert queue.bytes_queued == 1000
+
+
+def test_byte_mode_scales_drop_probability_with_size():
+    # Per-byte fairness: with the count correction neutral (count = 0)
+    # the notification probability is linear in packet size.
+    queue = REDQueue(capacity=10_000, min_th=1000, max_th=100_000,
+                     w_q=1.0, max_p=0.02, byte_mode=True,
+                     mean_packet_size=1000, rng=random.Random(1))
+    queue.avg = 50_000.0
+    queue.count = 0
+    p_small = queue._drop_probability(100)
+    p_big = queue._drop_probability(1500)
+    assert p_big == pytest.approx(15 * p_small)
+    assert p_small > 0
+
+
+def test_byte_mode_probability_is_capped_at_one():
+    queue = REDQueue(capacity=100, min_th=100, max_th=10_000, w_q=1.0,
+                     max_p=1.0, byte_mode=True, mean_packet_size=100,
+                     rng=random.Random(1))
+    queue.avg = 5000.0
+    queue.count = 0
+    assert queue._drop_probability(100_000) == 1.0
+
+
+def test_packet_mode_ignores_size_in_probability():
+    queue = REDQueue(capacity=100, min_th=5, max_th=15, w_q=1.0,
+                     rng=random.Random(1))
+    queue.avg = 10.0
+    queue.count = 0
+    assert queue._drop_probability(40) == queue._drop_probability(1500)
+
+
+def test_mean_packet_size_validation():
+    with pytest.raises(ValueError):
+        REDQueue(byte_mode=True, mean_packet_size=0, rng=random.Random(1))
+
+
+# ------------------------------------------------------------ adaptive RED
+def test_adaptive_raises_max_p_when_average_runs_high():
+    queue = AdaptiveREDQueue(capacity=200, min_th=5, max_th=15, w_q=1.0,
+                             max_p=0.02, adapt_interval=0.5,
+                             rng=random.Random(1))
+    queue.avg = 14.0  # above the [9, 11] target band
+    before = queue.max_p
+    queue.enqueue(10.0, _pkt(0))  # 20 elapsed intervals, caught up lazily
+    assert queue.max_p > before
+    assert queue.adaptations > 0
+
+
+def test_adaptive_decays_max_p_when_average_runs_low():
+    queue = AdaptiveREDQueue(capacity=200, min_th=5, max_th=15, w_q=0.002,
+                             max_p=0.1, adapt_interval=0.5,
+                             rng=random.Random(1))
+    # Near-empty queue: avg stays below the target band, so max_p must
+    # decay multiplicatively toward the floor.
+    for step in range(40):
+        queue.enqueue(step * 0.5, _pkt(step))
+        queue.dequeue(step * 0.5)
+    assert queue.max_p < 0.1
+
+
+def test_adaptive_max_p_stays_clamped():
+    queue = AdaptiveREDQueue(capacity=200, min_th=5, max_th=15, w_q=1.0,
+                             max_p=0.49, adapt_interval=0.5,
+                             rng=random.Random(1))
+    queue.avg = 14.0
+    queue.enqueue(1000.0, _pkt(0))  # 2000 increase opportunities
+    assert queue.max_p <= queue.MAX_P_TOP
+    low = AdaptiveREDQueue(capacity=200, min_th=5, max_th=15, w_q=1.0,
+                           max_p=0.011, adapt_interval=0.5,
+                           rng=random.Random(1))
+    low.avg = 0.0
+    low.enqueue(1000.0, _pkt(0))
+    assert low.max_p >= low.MAX_P_BOTTOM
+
+
+def test_adaptive_interval_validation():
+    with pytest.raises(ValueError):
+        AdaptiveREDQueue(adapt_interval=0.0, rng=random.Random(1))
+
+
+def test_adaptive_same_seed_same_behaviour():
+    def pattern(seed):
+        queue = AdaptiveREDQueue(capacity=20, min_th=2, max_th=8, w_q=1.0,
+                                 max_p=0.2, adapt_interval=0.1,
+                                 rng=random.Random(seed))
+        out = []
+        for seq in range(300):
+            out.append(queue.enqueue(seq * 0.01, _pkt(seq)))
+            if seq % 3 == 0:
+                queue.dequeue(seq * 0.01)
+        return (out, queue.max_p, queue.adaptations)
+
+    assert pattern(9) == pattern(9)

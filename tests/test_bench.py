@@ -40,7 +40,7 @@ def _doc(events_per_s, duration=8.0, warmup=3.0):
 # ----------------------------------------------------------------------
 def test_registry_contents():
     assert set(SUITES) == {
-        "engine", "fig7", "fig9", "scenarios",
+        "engine", "fig7", "fig9", "scenarios", "aqm_grid",
         "ensemble_cold", "ensemble_fork",
         "rla_scale_4", "rla_scale_64", "rla_scale_256", "rla_scale_1024",
     }
