@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-harness bench-smoke checkpoint-smoke figures quickstart clean
+.PHONY: install test bench bench-harness bench-smoke checkpoint-smoke fluid-smoke figures quickstart clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,15 +17,15 @@ bench:
 # per-PR record (see docs/PERFORMANCE.md for the schema and knobs).
 bench-harness:
 	PYTHONPATH=src $(PYTHON) -m repro.bench run --label local \
-		--out BENCH_local.json --compare BENCH_7.json
+		--out BENCH_local.json --compare BENCH_8.json
 
 # The fast smoke subset CI runs on every push (>25% slowdown fails):
-# engine + fig7 plus the two smallest receiver-scaling sizes, so the RLA
-# sender's incremental aggregates stay under the regression gate.
+# engine + fig7 plus the two smallest receiver-scaling sizes (RLA
+# incremental aggregates) and the fluid ODE integrator's small twin.
 # 3 repeats (min wins) because CI runners are noisy single-tenant VMs.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench run \
-		--suites engine,fig7,rla_scale_4,rla_scale_64 \
+		--suites engine,fig7,rla_scale_4,rla_scale_64,fluid_small \
 		--label ci --out BENCH_ci.json --repeats 3 \
 		--compare benchmarks/BENCH_ci_baseline.json
 
@@ -48,6 +48,21 @@ checkpoint-smoke:
 	resumed = pickle.dumps(resume('ckpt-smoke/mid.ckpt')); \
 	assert resumed == straight, 'checkpoint restore diverged from straight run'; \
 	print('checkpoint smoke OK: %d-byte report, byte-identical after fresh-process restore' % len(resumed))"
+
+# Fluid backend smoke: the small-n fluid-vs-packet cross-validation
+# cases (per-metric error tables, tolerances from docs/FLUID.md), then
+# one 10^5-flow fluid point to prove the mean-field scaling path — the
+# bounds must hold and the RED equilibrium must be Reynier-stable.
+fluid-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli fluid crossval "--cases=-10-"
+	PYTHONPATH=src $(PYTHON) -c "from repro.experiments.population import \
+	run_population, format_population; \
+	rows = run_population(counts=(100_000,)); \
+	print(format_population(rows)); \
+	assert all(row['bound_ok'] for row in rows), rows; \
+	assert all(row['equilibrium']['stability_margin'] > 0 \
+	           for row in rows), rows; \
+	print('fluid smoke OK: bounds hold at 100k flows, stable equilibrium')"
 
 # Reproduce every paper figure from the CLI at a moderate scale.
 figures:

@@ -241,6 +241,44 @@ def _ensemble_fork(scale: Mapping[str, float]) -> int:
     return events
 
 
+def _fluid_small(scale: Mapping[str, float]) -> int:
+    """Fluid runs of two packet-comparable cross-validation twins.
+
+    The fluid sides of one RED dumbbell and one drop-tail RTT-cohort
+    case from :data:`repro.fluid.crossval.CROSSVAL_CASES` — systems
+    small enough that the packet backend runs them too, so this suite
+    gates the per-step cost of the RK4 integrator, the grouped RLA
+    drift and the equilibrium solver.  "Events" are RK4 steps.
+    """
+    from ..fluid.crossval import CROSSVAL_CASES, fluid_twin
+    from ..fluid.runner import run_fluid
+
+    events = 0
+    for case in (CROSSVAL_CASES[0], CROSSVAL_CASES[3]):
+        spec = fluid_twin(case).replace(duration=scale["duration"],
+                                        warmup=scale["warmup"])
+        row = run_fluid(spec)
+        events += int(row["sim_stats"]["events"])
+    return events
+
+
+def _fluid_scale_100k(scale: Mapping[str, float]) -> int:
+    """One 10⁵-flow population point on the fluid backend.
+
+    The flagship scaling claim under a regression gate: a hundred
+    thousand flows (and as many receivers) through a RED bottleneck,
+    integrated in O(cohorts) state.  Wall time here is what the
+    population-scaling figure reports per point.
+    """
+    from ..experiments.population import population_spec
+    from ..fluid.runner import run_fluid
+
+    spec = population_spec(100_000, duration=scale["duration"],
+                           warmup=scale["warmup"])
+    row = run_fluid(spec)
+    return int(row["sim_stats"]["events"])
+
+
 def _rla_scale(n_receivers: int) -> Callable[[Mapping[str, float]], int]:
     """Bind one receiver count into a suite-shaped run callable."""
     def run(scale: Mapping[str, float]) -> int:
@@ -278,13 +316,21 @@ SUITES: Dict[str, Suite] = {
                   _rla_scale(n), "rla_scale probe / docs/PERFORMANCE.md")
             for n in RLA_SCALE_SIZES
         ),
+        Suite("fluid_small",
+              "fluid twins of two packet-comparable crossval cases",
+              _fluid_small, "repro.fluid crossval / docs/FLUID.md"),
+        Suite("fluid_scale_100k",
+              "one 100k-flow fluid population point (RED, wide RTTs)",
+              _fluid_scale_100k, "fluid scale CLI / docs/FLUID.md"),
     )
 }
 
 #: The fast subset the CI ``bench-smoke`` job runs on every push (the two
 #: smallest receiver-scaling sizes keep the incremental-aggregate paths
-#: under the regression gate without the big groups' wall time).
-SMOKE_SUITES = ("engine", "fig7", "rla_scale_4", "rla_scale_64")
+#: under the regression gate without the big groups' wall time;
+#: ``fluid_small`` keeps the ODE integrator's per-step cost gated too).
+SMOKE_SUITES = ("engine", "fig7", "rla_scale_4", "rla_scale_64",
+                "fluid_small")
 
 
 def resolve(names) -> Dict[str, Suite]:

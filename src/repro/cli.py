@@ -144,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="fairness vs receiver count")
     _add_run_args(sweep)
     sweep.add_argument("--counts", type=int, nargs="+", default=[2, 4, 8])
+    sweep.add_argument("--backend", choices=["packet", "fluid"],
+                       default="packet",
+                       help="packet simulation, or the mean-field fluid "
+                            "model integrating the same symmetric system")
 
     scenarios = sub.add_parser(
         "scenarios", help="generated workloads: topologies, mice, churn")
@@ -216,6 +220,44 @@ def build_parser() -> argparse.ArgumentParser:
     scen_grid.add_argument("--audit", action="store_true",
                            help="run every cell under the conservation "
                                 "auditor")
+    scen_grid.add_argument("--backend", choices=["packet", "fluid"],
+                           default="packet",
+                           help="packet scenarios, or mean-field fluid "
+                                "cells (droptail/red, uniform, no ECN)")
+    scen_grid.add_argument("--scale", type=float, default=1.0,
+                           metavar="X",
+                           help="fluid-backend population multiplier "
+                                "(e.g. 25000 for a 10^5-flow matrix)")
+
+    fluid = sub.add_parser(
+        "fluid", help="mean-field fluid backend: crossval and scaling")
+    fluid_sub = fluid.add_subparsers(dest="action", required=True)
+    fluid_cv = fluid_sub.add_parser(
+        "crossval", help="fluid-vs-packet regression set with error tables")
+    fluid_cv.add_argument("--cases", nargs="+", default=None,
+                          metavar="SUBSTR",
+                          help="only run cases whose name contains one of "
+                               "these substrings (default: all)")
+    fluid_cv.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="run the packet sides over N worker processes")
+    fluid_cv.add_argument("--cache", nargs="?", const="", default=None,
+                          metavar="DIR",
+                          help="serve unchanged packet runs from the "
+                               "on-disk result cache")
+    fluid_scale = fluid_sub.add_parser(
+        "scale", help="fairness bounds at 10^5-10^6 flows (fluid only)")
+    fluid_scale.add_argument("--counts", type=int, nargs="+",
+                             default=None, metavar="N",
+                             help="total TCP flows per point (default: "
+                                 "100 1k 10k 100k 1M)")
+    fluid_scale.add_argument("--gateway", choices=["droptail", "red"],
+                             default="red")
+    fluid_scale.add_argument("--spread", choices=["narrow", "wide"],
+                             default="wide",
+                             help="RTT-cohort spread of the scaled dumbbell")
+    fluid_scale.add_argument("--duration", type=float, default=20.0)
+    fluid_scale.add_argument("--warmup", type=float, default=5.0)
+    fluid_scale.add_argument("--seed", type=int, default=1)
 
     resume_p = sub.add_parser(
         "resume", help="restore a snapshot file and run it to completion")
@@ -298,9 +340,12 @@ def _dispatch(args: argparse.Namespace) -> int:
                                     duration=args.duration,
                                     warmup=args.warmup, seed=args.seed,
                                     audited=args.audit,
+                                    backend=args.backend,
                                     **_runtime_kwargs(args, outcomes))
         print(format_sweep(rows, "n_receivers"))
         _print_metrics(args, outcomes)
+    elif args.figure == "fluid":
+        return _dispatch_fluid(args)
     elif args.figure == "scenarios":
         from .scenarios import format_catalog, format_scenarios, get_scenario, run_scenarios
 
@@ -310,18 +355,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.action == "grid":
             from .scenarios.grid import GridSpec, format_grid, run_grid
 
+            ecn_modes = {"off": (False,), "on": (True,),
+                         "both": (False, True)}[args.ecn]
+            if args.backend == "fluid" and args.ecn == "both":
+                ecn_modes = (False,)  # the fluid model has no ECN axis
             grid = GridSpec(
                 disciplines=tuple(args.gateways or ()),
                 mixes=tuple(args.mixes or ()),
                 spreads=tuple(args.spreads or ()),
-                ecn_modes={"off": (False,), "on": (True,),
-                           "both": (False, True)}[args.ecn],
+                ecn_modes=ecn_modes,
                 duration=args.duration, warmup=args.warmup,
                 seed=args.seed, audited=args.audit,
+                backend=args.backend, scale=args.scale,
             )
             outcomes = []
             specs, rows = run_grid(grid, **_runtime_kwargs(args, outcomes))
-            print(format_grid(specs, rows))
+            if args.backend == "fluid":
+                from .fluid.runner import format_fluid
+
+                print(format_fluid(rows))
+            else:
+                print(format_grid(specs, rows))
             _print_metrics(args, outcomes)
             return 0
         overrides = {k: v for k, v in (
@@ -358,6 +412,53 @@ def _dispatch(args: argparse.Namespace) -> int:
         for label, report in results:
             print(f"[{label}] {_describe_report(report)}")
         _pickle_out(args.out, results)
+    return 0
+
+
+def _dispatch_fluid(args: argparse.Namespace) -> int:
+    """The ``fluid`` subcommand: crossval tables and population scaling."""
+    if args.action == "crossval":
+        from .errors import ConfigurationError
+        from .fluid.crossval import (
+            CROSSVAL_CASES,
+            format_crossval,
+            run_crossval,
+        )
+
+        cases = CROSSVAL_CASES
+        if args.cases:
+            cases = tuple(case for case in CROSSVAL_CASES
+                          if any(sub in case.name for sub in args.cases))
+            if not cases:
+                known = ", ".join(case.name for case in CROSSVAL_CASES)
+                raise ConfigurationError(
+                    f"no crossval case matches {args.cases}; have: {known}")
+        cache = None
+        if args.cache is not None:
+            from .runtime import ResultCache
+
+            cache = ResultCache(args.cache or None)
+        results = run_crossval(cases=cases, workers=args.workers,
+                               cache=cache)
+        print(format_crossval(results))
+        failed = sum(1 for _, _, _, rows in results
+                     for row in rows if not row.ok)
+        if failed:
+            print(f"\n{failed} metric(s) outside tolerance")
+            return 1
+        return 0
+    from .experiments.population import (
+        POPULATION_COUNTS,
+        format_population,
+        run_population,
+    )
+
+    rows = run_population(
+        counts=args.counts or POPULATION_COUNTS,
+        gateway=args.gateway, spread=args.spread,
+        duration=args.duration, warmup=args.warmup, seed=args.seed,
+    )
+    print(format_population(rows))
     return 0
 
 

@@ -131,6 +131,10 @@ def _run_symmetric(
 #: Entrypoint path worker processes resolve to run one symmetric point.
 SYMMETRIC_ENTRYPOINT = "repro.experiments.sweeps:run_symmetric_spec"
 
+#: Sweep backends: packet-level simulation, or the mean-field fluid
+#: model of :mod:`repro.fluid` integrating the same symmetric system.
+SWEEP_BACKENDS = ("packet", "fluid")
+
 
 def run_symmetric_spec(params: Dict[str, Any]) -> Dict[str, float]:
     """:mod:`repro.runtime` entrypoint for one symmetric sweep point."""
@@ -146,11 +150,27 @@ def run_symmetric_spec(params: Dict[str, Any]) -> Dict[str, float]:
     )
 
 
-def symmetric_runspec(label_knob: str, **params):
+def _backend_entrypoint(backend: str) -> str:
+    """The runtime entrypoint implementing one sweep point on ``backend``."""
+    if backend == "packet":
+        return SYMMETRIC_ENTRYPOINT
+    if backend == "fluid":
+        from ..fluid.adapters import FLUID_SYMMETRIC_ENTRYPOINT
+
+        return FLUID_SYMMETRIC_ENTRYPOINT
+    from ..errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown sweep backend {backend!r}; expected one of {SWEEP_BACKENDS}"
+    )
+
+
+def symmetric_runspec(label_knob: str, entrypoint: str = SYMMETRIC_ENTRYPOINT,
+                      **params):
     """A content-addressed RunSpec for one symmetric sweep point."""
     from ..runtime import RunSpec
 
-    return RunSpec(SYMMETRIC_ENTRYPOINT, params,
+    return RunSpec(entrypoint, params,
                    label=f"sweep {label_knob}={params[label_knob]} "
                          f"({params['gateway']})")
 
@@ -161,13 +181,27 @@ def _run_points(
     workers: Optional[int],
     cache,
     outcomes: Optional[List[Any]],
+    backend: str = "packet",
 ) -> List[Dict[str, float]]:
     """Serial loop when the runtime is not requested, fan-out when it is."""
+    entrypoint = _backend_entrypoint(backend)
+    if backend == "fluid" and any(p.get("audited") for p in points):
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            "the conservation auditor tracks packets; a fluid run has "
+            "none to audit"
+        )
     if workers is None and cache is None:
+        if backend == "fluid":
+            from ..fluid.adapters import run_symmetric_fluid_spec
+
+            return [run_symmetric_fluid_spec(point) for point in points]
         return [run_symmetric_spec(point) for point in points]
     from ..runtime import run_specs
 
-    specs = [symmetric_runspec(label_knob, **point) for point in points]
+    specs = [symmetric_runspec(label_knob, entrypoint, **point)
+             for point in points]
     outs = run_specs(specs, workers=workers, cache=cache)
     if outcomes is not None:
         outcomes.extend(outs)
@@ -185,6 +219,7 @@ def sweep_receiver_count(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    backend: str = "packet",
 ) -> List[Dict[str, float]]:
     """Fairness ratio as the receiver population grows."""
     points = [
@@ -193,7 +228,8 @@ def sweep_receiver_count(
              **({"audited": True} if audited else {}))
         for n in counts
     ]
-    return _run_points(points, "n_receivers", workers, cache, outcomes)
+    return _run_points(points, "n_receivers", workers, cache, outcomes,
+                       backend=backend)
 
 
 def sweep_buffer_size(
@@ -208,6 +244,7 @@ def sweep_buffer_size(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    backend: str = "packet",
 ) -> List[Dict[str, float]]:
     """Fairness ratio across gateway buffer sizes."""
     points = [
@@ -216,7 +253,8 @@ def sweep_buffer_size(
              **({"audited": True} if audited else {}))
         for buffer in buffers
     ]
-    return _run_points(points, "buffer_pkts", workers, cache, outcomes)
+    return _run_points(points, "buffer_pkts", workers, cache, outcomes,
+                       backend=backend)
 
 
 def sweep_share(
@@ -230,6 +268,7 @@ def sweep_share(
     cache=None,
     outcomes: Optional[List[Any]] = None,
     audited: bool = False,
+    backend: str = "packet",
 ) -> List[Dict[str, float]]:
     """Fairness ratio across absolute bottleneck speeds."""
     points = [
@@ -238,7 +277,8 @@ def sweep_share(
              **({"audited": True} if audited else {}))
         for share in shares
     ]
-    return _run_points(points, "share_pps", workers, cache, outcomes)
+    return _run_points(points, "share_pps", workers, cache, outcomes,
+                       backend=backend)
 
 
 def format_sweep(rows: List[Dict[str, float]], knob: str) -> str:

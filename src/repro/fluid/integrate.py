@@ -1,0 +1,108 @@
+"""Fixed-step RK4 integration of the fluid vector field.
+
+Everything here is deliberately boring: a classical Runge-Kutta 4 step
+with a fixed ``dt``, a fixed step count derived from the spec horizon,
+and rectangle-rule time averages over the measured window.  No adaptive
+stepping, no RNG, no wall-clock reads — the result is a pure function
+of the :class:`FluidSpec`, byte-identical across processes, interpreter
+restarts, and serial/parallel executors (locked by the byte-identity
+suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .model import FluidModel
+from .spec import FluidSpec
+
+
+@dataclass
+class FluidResult:
+    """Time-averaged outcome of one fluid integration.
+
+    ``means`` maps each observable of
+    :meth:`FluidModel.instantaneous` to its per-component time average
+    over the measured (post-warmup) window; ``peak_queue`` is the
+    per-bottleneck maximum instantaneous depth in the same window.
+    ``steps`` counts RK4 steps over the whole horizon (the fluid
+    analogue of the packet engine's event count).
+    """
+
+    means: Dict[str, Tuple[float, ...]]
+    peak_queue: Tuple[float, ...]
+    final_state: Tuple[float, ...]
+    steps: int
+    measured_s: float
+
+
+def rk4_step(model: FluidModel, state: List[float], dt: float) -> List[float]:
+    """One classical RK4 step; the result is clamped into the physical set."""
+    k1 = model.derivatives(state)
+    mid1 = [s + 0.5 * dt * d for s, d in zip(state, k1)]
+    model.clamp(mid1)
+    k2 = model.derivatives(mid1)
+    mid2 = [s + 0.5 * dt * d for s, d in zip(state, k2)]
+    model.clamp(mid2)
+    k3 = model.derivatives(mid2)
+    end = [s + dt * d for s, d in zip(state, k3)]
+    model.clamp(end)
+    k4 = model.derivatives(end)
+    nxt = [
+        s + (dt / 6.0) * (a + 2.0 * b + 2.0 * c + d)
+        for s, a, b, c, d in zip(state, k1, k2, k3, k4)
+    ]
+    model.clamp(nxt)
+    return nxt
+
+
+def integrate(spec: FluidSpec) -> FluidResult:
+    """Integrate ``spec`` over its horizon and average the measured window.
+
+    The step count is fixed up front (``round(horizon / dt)``), so two
+    runs of the same spec execute the identical float-op sequence.
+    """
+    model = FluidModel(spec)
+    dt = spec.dt
+    total_steps = round(spec.horizon / dt)
+    warmup_steps = round(spec.warmup / dt)
+    if total_steps <= warmup_steps:
+        raise ConfigurationError(
+            f"horizon {spec.horizon}s leaves no measured steps at dt={dt}"
+        )
+
+    state = model.initial_state()
+    sums: Dict[str, List[float]] = {}
+    peak_queue: List[float] = [0.0] * model.n_bottlenecks
+    measured = 0
+
+    for step in range(total_steps):
+        state = rk4_step(model, state, dt)
+        if step < warmup_steps:
+            continue
+        measured += 1
+        obs = model.instantaneous(state)
+        for key, values in obs.items():
+            acc = sums.get(key)
+            if acc is None:
+                sums[key] = list(values)
+            else:
+                for i, v in enumerate(values):
+                    acc[i] += v
+        for b, depth in enumerate(obs["queue"]):
+            if depth > peak_queue[b]:
+                peak_queue[b] = depth
+
+    means = {
+        key: tuple(total / measured for total in acc)
+        for key, acc in sums.items()
+    }
+    return FluidResult(
+        means=means,
+        peak_queue=tuple(peak_queue),
+        final_state=tuple(state),
+        steps=total_steps,
+        measured_s=measured * dt,
+    )

@@ -1,0 +1,238 @@
+"""Equilibrium solver and Reynier-style stability diagnostic.
+
+Reynier's companion result to the mean-field limit (``cs/0609014``) is a
+*simple stability condition* for many TCP flows through a RED buffer:
+the deterministic limit has a unique fixed point, and whether the
+populations settle there or orbit it in a limit cycle is decided by the
+linearization around that fixed point.  This module implements that
+check constructively for a single-bottleneck :class:`FluidSpec`:
+
+1. solve the fixed point exactly — windows from the closed forms of
+   :mod:`repro.models` (which *are* the ODE equilibria by construction),
+   the queue from inverting the drop profile, and the residual
+   ``A(p) (1-p) - C`` bisected over the drop probability (the residual
+   is strictly decreasing in ``p``: higher loss shrinks every window
+   and, through the queue, stretches every RTT);
+2. linearize :meth:`FluidModel.derivatives` at the fixed point by
+   central finite differences and report the **stability margin**
+   ``-max Re(eig(J))`` — positive means locally asymptotically stable,
+   negative flags the oscillatory regime Reynier's condition excludes.
+
+Both the equilibrium and the margin are surfaced in fluid report rows
+as a diagnostic, so a sweep can tell at a glance when a RED operating
+point has left the stable region (where the time averages are still
+well-defined but no longer sit on the fixed point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..models.rla_drift import rla_window_groups
+from ..models.tcp_formula import pa_window
+from .model import FluidModel
+from .spec import FluidSpec
+
+#: Bisection iterations for the equilibrium drop probability.  Fixed
+#: (not tolerance-driven) so the solve is deterministic bit-for-bit.
+BISECT_ITERATIONS = 200
+
+#: Smallest drop probability the bracket considers.
+P_FLOOR = 1e-12
+
+
+@dataclass
+class EquilibriumReport:
+    """Fixed point of a single-bottleneck fluid system, plus its margin.
+
+    ``status`` is ``"interior"`` (a genuine fixed point on the drop
+    profile), ``"lossless"`` (demand never fills the queue; ``p = 0``),
+    or ``"saturated"`` (demand exceeds capacity even at the top of the
+    drop profile; RED operates on its ``max_th`` cliff).
+    ``stability_margin`` is ``-max Re(eig(J))`` at the fixed point —
+    positive for locally stable — and ``None`` when the fixed point
+    sits on a state-space boundary (drop-tail's full buffer) where the
+    linearization is one-sided.
+    """
+
+    status: str
+    p: float
+    queue: float
+    tcp_windows: Tuple[float, ...]
+    rla_window: Optional[float]
+    arrival_pps: float
+    stability_margin: Optional[float]
+
+
+def _single_bottleneck(spec: FluidSpec):
+    if len(spec.bottlenecks) != 1:
+        raise ConfigurationError(
+            "equilibrium solver handles single-bottleneck specs; "
+            f"got {len(spec.bottlenecks)}"
+        )
+    return spec.bottlenecks[0]
+
+
+def _equilibrium_windows(
+    spec: FluidSpec, p: float
+) -> Tuple[List[float], Optional[float]]:
+    """Cohort windows at loss ``p`` from the closed-form equilibria."""
+    if p <= 0.0:
+        raise ConfigurationError(f"need positive loss for windows: {p}")
+    tcp = [pa_window(p)] * len(spec.tcp_cohorts)
+    rla = None
+    if spec.rla_cohorts:
+        # Single bottleneck: every receiver loses together — one group.
+        rla = rla_window_groups([(sum(c.receivers
+                                      for c in spec.rla_cohorts), p)])
+    return tcp, rla
+
+
+def _queue_at(spec: FluidSpec, p: float) -> float:
+    """Equilibrium queue depth implied by loss ``p`` on the profile."""
+    bn = _single_bottleneck(spec)
+    if bn.discipline == "fixed":
+        return 0.0
+    if bn.discipline == "droptail":
+        return bn.buffer_pkts
+    # RED: avg == q at equilibrium, and p = max_p (q - min)/(max - min).
+    return bn.min_th + (p / bn.max_p) * (bn.max_th - bn.min_th)
+
+
+def _arrival_at(spec: FluidSpec, p: float) -> float:
+    """Offered load at loss ``p`` with equilibrium windows and queue."""
+    bn = _single_bottleneck(spec)
+    q = _queue_at(spec, p)
+    tcp_windows, rla_window = _equilibrium_windows(spec, p)
+    load = 0.0
+    for cohort, w in zip(spec.tcp_cohorts, tcp_windows):
+        load += cohort.flows * w / (cohort.rtt_s + q / bn.capacity_pps)
+    if rla_window is not None:
+        rla_rtt = spec.rla_rtt_factor * max(
+            cohort.rtt_s + q / bn.capacity_pps
+            for cohort in spec.rla_cohorts
+        )
+        load += rla_window / rla_rtt
+    return load
+
+
+def _residual(spec: FluidSpec, p: float) -> float:
+    """Queue balance ``A(p)(1-p) - C``; zero at the fixed point."""
+    bn = _single_bottleneck(spec)
+    return _arrival_at(spec, p) * (1.0 - p) - bn.capacity_pps
+
+
+def solve_equilibrium(spec: FluidSpec) -> EquilibriumReport:
+    """Fixed point of a single-bottleneck spec (no stability analysis)."""
+    spec.validate()
+    bn = _single_bottleneck(spec)
+
+    if bn.discipline == "fixed":
+        p = bn.loss_p
+        if p <= 0.0:
+            return EquilibriumReport("lossless", 0.0, 0.0, (), None,
+                                     0.0, None)
+        tcp_windows, rla_window = _equilibrium_windows(spec, p)
+        return EquilibriumReport(
+            status="interior", p=p, queue=0.0,
+            tcp_windows=tuple(tcp_windows), rla_window=rla_window,
+            arrival_pps=_arrival_at(spec, p), stability_margin=None,
+        )
+
+    # The top of the continuous drop profile: RED's linear region ends
+    # at max_p; drop-tail's excess-rate loss is bounded below 1.
+    p_hi = bn.max_p if bn.discipline == "red" else 1.0 - 1e-9
+    if _residual(spec, P_FLOOR) <= 0.0:
+        # Demand never fills the profile: effectively lossless.
+        return EquilibriumReport(
+            "lossless", 0.0, 0.0 if bn.discipline == "red"
+            else min(bn.buffer_pkts, 0.0), (), None,
+            _arrival_at(spec, P_FLOOR), None,
+        )
+    if _residual(spec, p_hi) >= 0.0:
+        # Even maximal profile loss can't absorb the demand.
+        tcp_windows, rla_window = _equilibrium_windows(spec, p_hi)
+        return EquilibriumReport(
+            "saturated", p_hi, _queue_at(spec, p_hi),
+            tuple(tcp_windows), rla_window,
+            _arrival_at(spec, p_hi), None,
+        )
+
+    lo, hi = P_FLOOR, p_hi
+    for _ in range(BISECT_ITERATIONS):
+        mid = 0.5 * (lo + hi)
+        if _residual(spec, mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    p = 0.5 * (lo + hi)
+    tcp_windows, rla_window = _equilibrium_windows(spec, p)
+    return EquilibriumReport(
+        status="interior", p=p, queue=_queue_at(spec, p),
+        tcp_windows=tuple(tcp_windows), rla_window=rla_window,
+        arrival_pps=_arrival_at(spec, p), stability_margin=None,
+    )
+
+
+def equilibrium_state(spec: FluidSpec,
+                      report: EquilibriumReport) -> List[float]:
+    """The full ODE state vector corresponding to an equilibrium report."""
+    model = FluidModel(spec)
+    state = model.initial_state()
+    for c, w in enumerate(report.tcp_windows):
+        state[c] = w
+    if report.rla_window is not None and model.has_rla:
+        state[model.idx_rla] = report.rla_window
+    state[model.base_q] = report.queue
+    if spec.bottlenecks[0].discipline == "red":
+        state[model.base_avg] = report.queue
+    return state
+
+
+def stability_margin(spec: FluidSpec,
+                     report: EquilibriumReport) -> Optional[float]:
+    """``-max Re(eig(J))`` of the linearization at the fixed point.
+
+    Positive margins mean the fixed point is locally asymptotically
+    stable (Reynier's stable regime); negative margins mean the
+    deterministic system spirals away into the RED limit cycle.
+    Returns ``None`` for fixed points on a boundary of the state space
+    (drop-tail's full buffer, the lossless corner), where a two-sided
+    linearization does not exist.
+    """
+    bn = _single_bottleneck(spec)
+    if report.status != "interior" or bn.discipline != "red":
+        return None
+    import numpy as np
+
+    model = FluidModel(spec)
+    x0 = equilibrium_state(spec, report)
+    n = model.n_state
+    jac = np.zeros((n, n))
+    for j in range(n):
+        eps = 1e-6 * max(1.0, abs(x0[j]))
+        hi = list(x0)
+        lo = list(x0)
+        hi[j] += eps
+        lo[j] -= eps
+        f_hi = model.derivatives(hi)
+        f_lo = model.derivatives(lo)
+        for i in range(n):
+            jac[i, j] = (f_hi[i] - f_lo[i]) / (2.0 * eps)
+    eigenvalues = np.linalg.eigvals(jac)
+    return float(-max(ev.real for ev in eigenvalues))
+
+
+def reynier_check(spec: FluidSpec) -> EquilibriumReport:
+    """Solve the fixed point and attach its stability margin."""
+    report = solve_equilibrium(spec)
+    margin = stability_margin(spec, report)
+    if margin is None:
+        return report
+    return EquilibriumReport(
+        status=report.status, p=report.p, queue=report.queue,
+        tcp_windows=report.tcp_windows, rla_window=report.rla_window,
+        arrival_pps=report.arrival_pps, stability_margin=margin,
+    )

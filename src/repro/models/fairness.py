@@ -67,6 +67,35 @@ def jain_index(values: Sequence[float]) -> float:
     return (total * total) / (len(xs) * squares)
 
 
+def jain_index_weighted(
+    values: Sequence[float], weights: Sequence[int]
+) -> float:
+    """Jain's index over a population given as ``(value, multiplicity)``.
+
+    Equivalent to :func:`jain_index` on the expanded list where
+    ``values[i]`` appears ``weights[i]`` times, but costs O(cohorts)
+    instead of O(population) — how the fluid backend scores 10⁶ flows
+    held in a handful of cohorts.
+    """
+    if len(values) != len(weights) or not values:
+        raise ConfigurationError(
+            "values and weights must be equal-length, non-empty"
+        )
+    xs = [float(v) for v in values]
+    if any(v < 0 for v in xs):
+        raise ConfigurationError(f"negative allocation in {xs!r}")
+    for w in weights:
+        if w < 1:
+            raise ConfigurationError(f"multiplicity must be >= 1: {w}")
+    population = sum(weights)
+    total = sum(w * v for w, v in zip(weights, xs))
+    squares = sum(w * v * v for w, v in zip(weights, xs))
+    if total == 0.0 or squares == 0.0:
+        # Same convention as jain_index: all-zero is perfectly equal.
+        return 1.0
+    return (total * total) / (population * squares)
+
+
 def essential_fairness_bounds(n: int, gateway: str) -> Tuple[float, float]:
     """Theorem I/II factors ``(a, b)`` for ``n`` troubled receivers."""
     if n < 1:

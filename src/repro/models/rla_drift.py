@@ -61,6 +61,62 @@ def rla_window_independent(ps: Sequence[float]) -> float:
     return math.sqrt(p_no_cut / (1.0 - p_half))
 
 
+def rla_window_cohorts(cohorts: Sequence[Tuple[int, float]]) -> float:
+    """Independent-loss PA window for receivers grouped into cohorts.
+
+    ``cohorts`` is a sequence of ``(count, p)`` pairs: ``count`` receivers
+    each with congestion probability ``p``.  Algebraically identical to
+    :func:`rla_window_independent` on the expanded list (the products are
+    just taken with exponents), but costs O(cohorts) instead of
+    O(receivers) — the form the fluid backend needs when a cohort holds
+    10⁶ receivers.
+    """
+    if not cohorts:
+        raise ConfigurationError("need at least one cohort")
+    n = 0
+    for count, _ in cohorts:
+        if count < 1:
+            raise ConfigurationError(f"cohort count must be >= 1: {count}")
+        n += count
+    _check_probs([p for _, p in cohorts])
+    p_no_cut = 1.0
+    p_half = 1.0
+    for count, p in cohorts:
+        p_no_cut *= (1.0 - p / n) ** count
+        p_half *= (1.0 - p / (2.0 * n)) ** count
+    return math.sqrt(p_no_cut / (1.0 - p_half))
+
+
+def rla_window_groups(groups: Sequence[Tuple[int, float]]) -> float:
+    """PA window for receiver groups with *common loss within a group*.
+
+    ``groups`` is a sequence of ``(count, p)`` pairs: a group of
+    ``count`` receivers behind one shared bottleneck that loses (and so
+    signals) together with probability ``p``, independently of other
+    groups — the loss geometry of a multicast tree, where one dropped
+    copy deprives every receiver downstream of the drop.  This is
+    :func:`rla_window_grouped` generalized to unequal group sizes and
+    probabilities: ``(1, p)`` groups reduce it to
+    :func:`rla_window_independent` and a single ``(n, p)`` group to
+    :func:`rla_window_common`.  The fluid backend's RLA drift uses
+    exactly these products, grouping receiver cohorts by bottleneck.
+    """
+    if not groups:
+        raise ConfigurationError("need at least one group")
+    n = 0
+    for count, _ in groups:
+        if count < 1:
+            raise ConfigurationError(f"group count must be >= 1: {count}")
+        n += count
+    _check_probs([p for _, p in groups])
+    p_no_cut = 1.0
+    p_half = 1.0
+    for count, p in groups:
+        p_no_cut *= (1.0 - p) + p * (1.0 - 1.0 / n) ** count
+        p_half *= (1.0 - p) + p * (1.0 - 1.0 / (2.0 * n)) ** count
+    return math.sqrt(p_no_cut / (1.0 - p_half))
+
+
 def rla_window_common(p: float, n: int) -> float:
     """Common-loss PA window: every loss signals all ``n`` receivers at once.
 

@@ -41,13 +41,25 @@ RTT_SPREADS: Dict[str, Tuple[float, float]] = {
     "wide": (3.0, 95.0),
 }
 
+#: Grid backends: packet-level scenario runs, or the mean-field fluid
+#: model of :mod:`repro.fluid` (disciplines droptail/red, uniform
+#: packets, no ECN — the envelope the fluid dynamics cover).
+GRID_BACKENDS = ("packet", "fluid")
+
+#: The queue disciplines the fluid backend models.
+FLUID_GRID_DISCIPLINES = ("droptail", "red")
+
 
 @dataclass(frozen=True)
 class GridSpec:
     """Which slice of the full matrix to build.
 
     Empty tuples mean "every value of that axis".  ``seed`` is shared by
-    every cell so rows differ only along the studied dimensions.
+    every cell so rows differ only along the studied dimensions.  On the
+    ``fluid`` backend the mix and ECN axes collapse (uniform packets,
+    ECN off — all the fluid model covers) and ``scale`` multiplies every
+    cell's population and capacity together, which is how the matrix
+    extends to 10⁵–10⁶ flows without simulating a single packet.
     """
 
     disciplines: Tuple[str, ...] = ()
@@ -58,14 +70,24 @@ class GridSpec:
     warmup: float = 5.0
     seed: int = 1
     audited: bool = False
+    backend: str = "packet"
+    #: Population multiplier for fluid cells (1.0 = the packet twin).
+    scale: float = 1.0
 
     def validate(self) -> "GridSpec":
         """Check every axis value against its registry; return self."""
+        if self.backend not in GRID_BACKENDS:
+            raise ConfigurationError(
+                f"unknown grid backend {self.backend!r}; "
+                f"expected one of {GRID_BACKENDS}"
+            )
+        disciplines = (GATEWAY_DISCIPLINES if self.backend == "packet"
+                       else FLUID_GRID_DISCIPLINES)
         for gw in self.disciplines:
-            if gw not in GATEWAY_DISCIPLINES:
+            if gw not in disciplines:
                 raise ConfigurationError(
-                    f"unknown gateway type {gw!r}; "
-                    f"expected one of {GATEWAY_DISCIPLINES}"
+                    f"unknown gateway type {gw!r} for {self.backend} grid; "
+                    f"expected one of {disciplines}"
                 )
         for mix in self.mixes:
             if mix not in PACKET_MIXES:
@@ -79,6 +101,30 @@ class GridSpec:
                     f"unknown RTT spread {spread!r}; "
                     f"expected one of {tuple(RTT_SPREADS)}"
                 )
+        if self.backend == "fluid":
+            if self.scale < 1.0:
+                raise ConfigurationError(
+                    f"fluid grid scale must be >= 1: {self.scale}"
+                )
+            if self.audited:
+                raise ConfigurationError(
+                    "the conservation auditor tracks packets; a fluid "
+                    "grid has none to audit"
+                )
+            if self.mixes and self.mixes != ("uniform",):
+                raise ConfigurationError(
+                    "fluid grid models uniform packet sizes only; "
+                    f"requested mixes {self.mixes}"
+                )
+            if True in self.ecn_modes:
+                raise ConfigurationError(
+                    "fluid grid has no ECN model; use --ecn off"
+                )
+        elif self.scale != 1.0:
+            raise ConfigurationError(
+                "scale is a fluid-backend knob; the packet grid runs "
+                "its literal population"
+            )
         return self
 
 
@@ -139,17 +185,70 @@ def grid_specs(grid: GridSpec) -> List[ScenarioSpec]:
     return specs
 
 
+def fluid_grid_cell(
+    gateway: str,
+    spread: str,
+    duration: float = 20.0,
+    warmup: float = 5.0,
+    seed: int = 1,
+    scale: float = 1.0,
+):
+    """One fluid cell: the mean-field twin of :func:`grid_cell`'s system.
+
+    Returns a :class:`repro.fluid.FluidSpec` describing the same
+    RTT-cohort dumbbell — same bottleneck, buffer, RED thresholds and
+    cohort RTTs — with populations and capacity multiplied by ``scale``.
+    """
+    from ..fluid.adapters import cohort_fluid_spec
+
+    fast_ms, slow_ms = RTT_SPREADS[spread]
+    base = grid_cell(gateway, "uniform", spread, False,
+                     duration=duration, warmup=warmup, seed=seed)
+    return cohort_fluid_spec(
+        topology=base.topology,
+        gateway=gateway,
+        tcp_flows=base.traffic.tcp_flows,
+        receivers=base.receivers,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        scale=scale,
+        name=f"grid {gateway} rtt={spread} scale={scale:g}",
+    )
+
+
+def fluid_grid_specs(grid: GridSpec) -> List[Any]:
+    """Every fluid cell of the requested slice, in deterministic order."""
+    grid.validate()
+    disciplines = grid.disciplines or FLUID_GRID_DISCIPLINES
+    spreads = grid.spreads or tuple(RTT_SPREADS)
+    return [
+        fluid_grid_cell(gateway, spread, duration=grid.duration,
+                        warmup=grid.warmup, seed=grid.seed,
+                        scale=grid.scale)
+        for gateway in disciplines
+        for spread in spreads
+    ]
+
+
 def run_grid(
     grid: GridSpec,
     workers: Optional[int] = None,
     cache=None,
     outcomes: Optional[List[Any]] = None,
-) -> Tuple[List[ScenarioSpec], List[Dict[str, Any]]]:
+) -> Tuple[List[Any], List[Dict[str, Any]]]:
     """Run the slice and return ``(specs, rows)`` in matching order.
 
-    Delegates to :func:`repro.scenarios.run_scenarios`, so workers and
-    the content-addressed cache behave exactly as for ``scenarios run``.
+    Delegates to :func:`repro.scenarios.run_scenarios` (packet) or
+    :func:`repro.fluid.run_fluids` (fluid), so workers and the
+    content-addressed cache behave exactly as for ``scenarios run``.
     """
+    if grid.validate().backend == "fluid":
+        from ..fluid.runner import run_fluids
+
+        fluid_specs = fluid_grid_specs(grid)
+        return fluid_specs, run_fluids(fluid_specs, workers=workers,
+                                       cache=cache, outcomes=outcomes)
     specs = grid_specs(grid)
     rows = run_scenarios(specs, workers=workers, cache=cache,
                          outcomes=outcomes)

@@ -8,6 +8,7 @@ from .cases import (
     case_receivers,
     congestion_tiers,
 )
+from .dumbbell import DumbbellCohort, DumbbellSpec, build_dumbbell
 from .restricted import RestrictedSpec, build_restricted
 from .tree import (
     DEFAULT_BANDWIDTH,
@@ -23,9 +24,12 @@ __all__ = [
     "LEVEL_DELAYS",
     "RTT_CASES",
     "TREE_CASES",
+    "DumbbellCohort",
+    "DumbbellSpec",
     "RestrictedSpec",
     "TreeCase",
     "TreeInfo",
+    "build_dumbbell",
     "build_restricted",
     "build_tertiary_tree",
     "static_tree_info",

@@ -1,0 +1,38 @@
+"""Fluid-vs-packet cross-validation regression suite.
+
+Every case in :data:`repro.fluid.crossval.CROSSVAL_CASES` — dumbbell
+and RTT-cohort topologies, drop-tail and RED, 10 to 100 flows — must
+land inside the per-metric tolerances of docs/FLUID.md.  The tolerances
+are asserted, not eyeballed: a failing case prints its full per-metric
+error table so the drifting metric is visible in the pytest output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fluid.crossval import (
+    CROSSVAL_CASES,
+    crossval_case,
+    format_crossval,
+)
+
+
+@pytest.mark.parametrize("case", CROSSVAL_CASES,
+                         ids=lambda case: case.name)
+def test_case_within_tolerance(case):
+    packet, fluid, rows = crossval_case(case)
+    failing = [row.metric for row in rows if not row.ok]
+    assert not failing, (
+        f"{case.name}: {failing} outside tolerance\n"
+        + format_crossval([(case, packet, fluid, rows)])
+    )
+
+
+def test_case_set_spans_the_advertised_envelope():
+    """The suite really covers n in {10, 40, 100} x both disciplines."""
+    assert {case.flows for case in CROSSVAL_CASES} == {10, 40, 100}
+    assert {case.gateway for case in CROSSVAL_CASES} == {"droptail",
+                                                         "red"}
+    assert {case.topology for case in CROSSVAL_CASES} == {"dumbbell",
+                                                          "rtt_cohorts"}

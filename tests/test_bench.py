@@ -43,10 +43,13 @@ def test_registry_contents():
         "engine", "fig7", "fig9", "scenarios", "aqm_grid",
         "ensemble_cold", "ensemble_fork",
         "rla_scale_4", "rla_scale_64", "rla_scale_256", "rla_scale_1024",
+        "fluid_small", "fluid_scale_100k",
     }
     assert set(SMOKE_SUITES) <= set(SUITES)
-    # CI smoke runs the two smallest receiver-scaling sizes
-    assert {"rla_scale_4", "rla_scale_64"} <= set(SMOKE_SUITES)
+    # CI smoke runs the two smallest receiver-scaling sizes plus the
+    # fluid integrator's packet-comparable twin
+    assert {"rla_scale_4", "rla_scale_64",
+            "fluid_small"} <= set(SMOKE_SUITES)
 
 
 def test_resolve_rejects_unknown_suite():
